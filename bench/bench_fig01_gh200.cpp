@@ -1,0 +1,11 @@
+// Figure 1b: PerfDojo (PerfLLM) vs PyTorch vs TVM on the GH200-class GPU.
+#include "bench_gpu_figure.h"
+#include "machines/machine.h"
+
+int main() {
+  perfdojo::bench::GpuFigureTargets tgt;
+  tgt.figure = "Figure 1b";
+  tgt.paper_vs_pytorch = "6.65x";
+  tgt.paper_vs_tvm = "13.65x";
+  return perfdojo::bench::runGpuFigure(perfdojo::machines::gh200(), tgt);
+}

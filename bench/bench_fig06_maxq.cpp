@@ -1,0 +1,40 @@
+// Figure 6: Q-value updates in original Q-learning vs Max Q-learning. The
+// best achievable state S3 makes Max Q-learning choose the transformation
+// path (a1) while original Q-learning stops immediately (a0).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rl/toy_mdp.h"
+#include "support/table.h"
+
+using namespace perfdojo;
+
+int main() {
+  bench::header("Figure 6: original Q-learning vs Max Q-learning",
+                "original Q selects the immediate stop a0; Max Q selects a1 "
+                "toward the best achievable state S3");
+
+  std::printf(
+      "chain: S0 -(a1,r=-1)-> S1 -(a1,r=-1)-> S2 -(a1,r=+10)-> S3 [best]\n"
+      "stop rewards: S0=8 (current implementation already good), S1=S2=0.5\n"
+      "gamma=0.9\n\n");
+
+  const auto exact = rl::toyMdpExact(0.9);
+  const auto learned = rl::runToyMdp(6000, 0.9, 0.2, 5);
+
+  Table t({"objective", "Q(S0, stop)", "Q(S0, go)", "choice at S0"});
+  t.addRow({"original Q (exact DP)", fmt(exact.q_std_stop, 4),
+            fmt(exact.q_std_go, 4), exact.std_stops ? "stop" : "go"});
+  t.addRow({"original Q (learned)", fmt(learned.q_std_stop, 4),
+            fmt(learned.q_std_go, 4), learned.std_stops ? "stop" : "go"});
+  t.addRow({"max-Bellman (exact DP)", fmt(exact.q_max_stop, 4),
+            fmt(exact.q_max_go, 4), exact.max_goes ? "go" : "stop"});
+  t.addRow({"max-Bellman (learned)", fmt(learned.q_max_stop, 4),
+            fmt(learned.q_max_go, 4), learned.max_goes ? "go" : "stop"});
+  std::printf("%s\n", t.render().c_str());
+
+  bench::paperVsMeasured("original Q stops at S0", "yes",
+                         learned.std_stops ? 1.0 : 0.0);
+  bench::paperVsMeasured("Max Q reaches S3", "yes", learned.max_goes ? 1.0 : 0.0);
+  return 0;
+}

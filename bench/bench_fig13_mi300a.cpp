@@ -1,0 +1,11 @@
+// Figure 13: PerfDojo (PerfLLM) vs PyTorch vs TVM on the MI300A-class GPU.
+#include "bench_gpu_figure.h"
+#include "machines/machine.h"
+
+int main() {
+  perfdojo::bench::GpuFigureTargets tgt;
+  tgt.figure = "Figure 13";
+  tgt.paper_vs_pytorch = "1.56x";
+  tgt.paper_vs_tvm = "1.80x";
+  return perfdojo::bench::runGpuFigure(perfdojo::machines::mi300a(), tgt);
+}

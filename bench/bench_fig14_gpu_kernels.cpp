@@ -1,0 +1,69 @@
+// Figure 14: the GPU kernel implementations discovered by PerfLLM —
+// (a) elementwise multiplication with 128-bit loads and warp-sized blocks on
+// GH200, (b) batch normalization with host-side coefficient derivation and a
+// 300-thread block padded to five 64-lane wavefronts on MI300A.
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "codegen/c_codegen.h"
+#include "ir/printer.h"
+#include "ir/walk.h"
+#include "kernels/kernels.h"
+#include "machines/gpusim.h"
+#include "machines/machine.h"
+#include "rl/perfllm.h"
+
+using namespace perfdojo;
+
+namespace {
+
+void report(const char* title, const ir::Program& kernel,
+            const machines::Machine& m, const char* paper_pt,
+            const char* paper_tvm) {
+  std::printf("--- %s on %s ---\n", title, m.name().c_str());
+  rl::PerfLLMConfig cfg;
+  cfg.episodes = bench::scaled(80);
+  cfg.max_steps = 18;
+  cfg.candidate_cap = 36;
+  cfg.seed = 29;
+  const auto r = rl::optimizeKernel(kernel, m, cfg);
+  const auto pt =
+      baselines::evaluateBaseline(baselines::Framework::PyTorch, kernel, m);
+  const auto tvm = baselines::evaluateBaseline(baselines::Framework::Tvm,
+                                               kernel, m, bench::scaled(120));
+  std::printf("PerfLLM best: %.4g s | PyTorch: %.4g s | TVM: %.4g s%s\n",
+              r.best_runtime, pt.runtime, tvm.runtime,
+              tvm.valid ? "" : " (default schedule)");
+  bench::paperVsMeasured(std::string(title) + " vs PyTorch", paper_pt,
+                         pt.runtime / r.best_runtime, "x");
+  bench::paperVsMeasured(std::string(title) + " vs TVM", paper_tvm,
+                         tvm.runtime / r.best_runtime, "x");
+
+  const auto cfg_gpu = m.name() == "mi300a" ? machines::mi300aConfig()
+                                            : machines::gh200Config();
+  const auto rep = machines::gpuAnalyze(r.best, cfg_gpu);
+  std::printf("discovered mapping: block=%g threads, wavefront padding "
+              "factor=%.3f, host ops=%lld\n",
+              rep.block_threads, rep.pad_factor,
+              static_cast<long long>(rep.host_ops));
+  std::printf("\nIR:\n%s\nCUDA-style rendering:\n%s\n",
+              ir::printTree(r.best).c_str(),
+              codegen::generateCuda(r.best).c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 14: GPU kernels discovered by PerfLLM",
+                "(a) mul: vectorized innermost loop (128-bit loads), block = "
+                "warp size; 1.71x over PyTorch on GH200. (b) batchnorm: "
+                "host-side temporaries, block 300 padded to 5 wavefronts; "
+                "1.12x over PyTorch on MI300A");
+
+  report("elementwise mul 6x14336", kernels::makeMul(6, 14336),
+         machines::gh200(), "1.71x", "3x");
+  report("batchnorm 8x64x300x300", kernels::makeBatchNorm(8, 64, 300, 300),
+         machines::mi300a(), "1.12x", "1.76x");
+  return 0;
+}

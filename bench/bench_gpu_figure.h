@@ -1,0 +1,73 @@
+// Shared runner for the two GPU headline figures (1b on GH200, 13 on
+// MI300A): PerfLLM vs PyTorch vs TVM across the Table 3 operators.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "kernels/kernels.h"
+#include "machines/machine.h"
+#include "rl/perfllm.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace perfdojo::bench {
+
+struct GpuFigureTargets {
+  const char* figure;
+  const char* paper_vs_pytorch;  // e.g. "6.65x"
+  const char* paper_vs_tvm;
+};
+
+inline int runGpuFigure(const machines::Machine& m, const GpuFigureTargets& tgt) {
+  header(std::string(tgt.figure) + ": PerfLLM on " + m.name(),
+         std::string("geometric-mean speedup ") + tgt.paper_vs_pytorch +
+             " over PyTorch, " + tgt.paper_vs_tvm + " over TVM");
+  std::printf(
+      "note: the paper trains up to 8 GPU-hours per kernel; this run uses\n"
+      "%d episodes/kernel (PERFDOJO_BENCH_SCALE multiplies the budget).\n\n",
+      scaled(60));
+
+  Table t({"kernel", "shape", "perfllm [s]", "pytorch [s]", "tvm [s]",
+           "vs pytorch", "vs tvm", "tvm note"});
+  std::vector<double> sp_pt, sp_tvm;
+  for (const auto& k : kernels::table3()) {
+    const auto kernel = k.build();
+    rl::PerfLLMConfig cfg;
+    cfg.episodes = scaled(60);
+    cfg.max_steps = 24;
+    cfg.candidate_cap = 48;
+    cfg.seed = 17 ^ fnv1a(k.label);
+    const auto r = rl::optimizeKernel(kernel, m, cfg);
+    const auto pt = baselines::evaluateBaseline(baselines::Framework::PyTorch,
+                                                kernel, m);
+    const auto tv = baselines::evaluateBaseline(baselines::Framework::Tvm,
+                                                kernel, m, scaled(60));
+    const double s_pt = pt.runtime / r.best_runtime;
+    const double s_tv = tv.runtime / r.best_runtime;
+    sp_pt.push_back(s_pt);
+    sp_tvm.push_back(s_tv);
+    t.addRow({k.label, k.shape, fmt(r.best_runtime, 3), fmt(pt.runtime, 3),
+              fmt(tv.runtime, 3), fmt(s_pt, 3) + "x", fmt(s_tv, 3) + "x",
+              tv.valid ? "tuned" : "default schedule"});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", t.render().c_str());
+  paperVsMeasured("geomean speedup vs PyTorch", tgt.paper_vs_pytorch,
+                  geomean(sp_pt), "x");
+  paperVsMeasured("geomean speedup vs TVM", tgt.paper_vs_tvm, geomean(sp_tvm),
+                  "x");
+
+  // Section 4.3 extrapolation: tuning a full ONNX-scale library.
+  const double node_hours_per_kernel = 8.0;
+  std::printf(
+      "\nSection 4.3 extrapolation: ~160 ONNX operators x %.0f node-hours "
+      "per kernel = %.0f node-hours for a full library (paper: 1280).\n",
+      node_hours_per_kernel, 160 * node_hours_per_kernel);
+  return 0;
+}
+
+}  // namespace perfdojo::bench

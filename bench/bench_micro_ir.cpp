@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark): throughput of the core machinery —
+// parsing, printing, interpretation, applicability enumeration, transform
+// application, machine-model evaluation, embedding, and NN training steps.
+#include <benchmark/benchmark.h>
+
+#include "codegen/c_codegen.h"
+#include "interp/interpreter.h"
+#include "ir/canonical.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "kernels/kernels.h"
+#include "machines/machine.h"
+#include "rl/embedding.h"
+#include "rl/nn.h"
+#include "transform/transform.h"
+
+namespace perfdojo {
+namespace {
+
+void BM_PrintProgram(benchmark::State& state) {
+  const auto p = kernels::makeSoftmax(1024, 512);
+  for (auto _ : state) benchmark::DoNotOptimize(ir::printProgram(p));
+}
+BENCHMARK(BM_PrintProgram);
+
+void BM_ParseProgram(benchmark::State& state) {
+  const auto text = ir::printProgram(kernels::makeSoftmax(1024, 512));
+  for (auto _ : state) benchmark::DoNotOptimize(ir::parseProgram(text));
+}
+BENCHMARK(BM_ParseProgram);
+
+void BM_CanonicalHash(benchmark::State& state) {
+  const auto p = kernels::makeConv2d(2, 4, 4, 16, 16, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(ir::canonicalHash(p));
+}
+BENCHMARK(BM_CanonicalHash);
+
+void BM_Interpret(benchmark::State& state) {
+  const auto p = kernels::makeSoftmax(static_cast<int64_t>(state.range(0)), 64);
+  interp::Memory mem(p);
+  Rng rng(1);
+  mem.randomizeInputs(p, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(interp::execute(p, mem));
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 64);
+}
+BENCHMARK(BM_Interpret)->Arg(8)->Arg(64);
+
+void BM_EnumerateActions(benchmark::State& state) {
+  const auto p = kernels::makeSoftmax(1024, 512);
+  const auto caps = machines::xeon().caps();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(transform::allActions(p, caps));
+}
+BENCHMARK(BM_EnumerateActions);
+
+void BM_ApplyTransform(benchmark::State& state) {
+  const auto p = kernels::makeSoftmax(1024, 512);
+  const auto caps = machines::xeon().caps();
+  const auto actions = transform::allActions(p, caps);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(actions[i % actions.size()].apply(p));
+    ++i;
+  }
+}
+BENCHMARK(BM_ApplyTransform);
+
+void BM_MachineEvaluate(benchmark::State& state) {
+  const auto p = kernels::makeConv2d(8, 10, 3, 512, 512, 5);
+  const auto* m = machines::findMachine(
+      state.range(0) == 0 ? "xeon" : state.range(0) == 1 ? "snitch" : "gh200");
+  for (auto _ : state) benchmark::DoNotOptimize(m->evaluate(p));
+}
+BENCHMARK(BM_MachineEvaluate)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Embedding(benchmark::State& state) {
+  rl::TextEmbedder e(48);
+  const auto p = kernels::makeSoftmax(1024, 512);
+  for (auto _ : state) benchmark::DoNotOptimize(e.embedProgram(p));
+}
+BENCHMARK(BM_Embedding);
+
+void BM_QNetworkForwardBackward(benchmark::State& state) {
+  Rng rng(1);
+  rl::QNetwork net(96, 96, rng);
+  rl::Vec x(96, 0.1);
+  for (auto _ : state) {
+    const double q = net.forward(x);
+    net.backward(q - 1.0);
+  }
+}
+BENCHMARK(BM_QNetworkForwardBackward);
+
+void BM_GenerateC(benchmark::State& state) {
+  const auto p = kernels::makeSoftmax(1024, 512);
+  for (auto _ : state) benchmark::DoNotOptimize(codegen::generateC(p));
+}
+BENCHMARK(BM_GenerateC);
+
+}  // namespace
+}  // namespace perfdojo
+
+BENCHMARK_MAIN();

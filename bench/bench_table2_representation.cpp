@@ -1,0 +1,104 @@
+// Table 2: supported representation features, each demonstrated by parsing
+// and executing the paper's textual example form; plus the Section 2.1 claim
+// that the features cover 83% of the ONNX operator specification.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "interp/interpreter.h"
+#include "ir/onnx_coverage.h"
+#include "ir/canonical.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "support/table.h"
+
+using namespace perfdojo;
+
+namespace {
+
+struct FeatureDemo {
+  const char* name;
+  const char* text;  // full program in the textual format
+};
+
+const FeatureDemo kDemos[] = {
+    {"element-wise",
+     "kernel k\nbuffer x f32 [4, 6] heap\nbuffer y f32 [4, 6] heap\n"
+     "buffer z f32 [4, 6] heap\nin x y\nout z\n\n"
+     "4\n| 6\n| | z[{0},{1}] = mul x[{0},{1}] y[{0},{1}]\n"},
+    {"broadcast",
+     "kernel k\nbuffer x f32 [4] heap\nbuffer z f32 [4, 6] heap\n"
+     "in x\nout z\n\n"
+     "4\n| 6\n| | z[{0},{1}] = mov x[{0}]\n"},
+    {"constant as value",
+     "kernel k\nbuffer x f32 [4, 6] heap\nbuffer z f32 [4, 6] heap\n"
+     "in x\nout z\n\n"
+     "4\n| 6\n| | z[{0},{1}] = mul x[{0},{1}] 3.5\n"},
+    {"index as value",
+     "kernel k\nbuffer x f32 [4, 6] heap\nbuffer z f32 [4, 6] heap\n"
+     "in x\nout z\n\n"
+     "4\n| 6\n| | z[{0},{1}] = mul x[{0},{1}] {0}\n"},
+    {"reduction",
+     "kernel k\nbuffer x f32 [4, 6] heap\nbuffer z f32 [4] heap\n"
+     "in x\nout z\n\n"
+     "4\n| z[{0}] = mov 0\n4\n| 6\n| | z[{0}] = add z[{0}] x[{0},{1}]\n"},
+    {"expression as location",
+     "kernel k\nbuffer x f32 [24] heap\nbuffer z f32 [4, 6] heap\n"
+     "in x\nout z\n\n"
+     "4\n| 6\n| | z[{0},{1}] = mov x[{0}*6+{1}]\n"},
+    {"reused dimension (:N)",
+     "kernel k\nbuffer x f32 [4, 6] heap\nbuffer t f32 [4:N, 6] stack\n"
+     "buffer z f32 [4, 6] heap\nin x\nout z\n\n"
+     "4\n| 6\n| | t[{0},{1}] = mul x[{0},{1}] 2\n| 6\n| | z[{0},{1}] = "
+     "add t[{0},{1}] 1\n"},
+    {"shared buffer (-> a, b)",
+     "kernel k\nbuffer x f32 [6] heap\nbuffer u f32 [6] heap -> a, b\n"
+     "buffer z f32 [6] heap\nin x\nout z\n\n"
+     "6\n| a[{0}] = mul x[{0}] 2\n6\n| z[{0}] = mov b[{0}]\n"},
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Table 2: supported representation features",
+                "element-wise, broadcast, constant/index as value, reduction, "
+                "expression as location all representable; indirection, "
+                "data-dependent ranges, dependent iteration and general "
+                "control flow deliberately excluded");
+
+  Table t({"feature", "parses", "round-trips", "executes"});
+  for (const auto& d : kDemos) {
+    std::string parses = "no", rt = "no", execs = "no";
+    try {
+      const auto p = ir::parseProgram(d.text);
+      parses = "yes";
+      rt = ir::canonicallyEqual(p, ir::parseProgram(ir::printProgram(p)))
+               ? "yes"
+               : "NO";
+      interp::runWithRandomInputs(p, 7);
+      execs = "yes";
+    } catch (const Error& e) {
+      std::printf("  %s failed: %s\n", d.name, e.what());
+    }
+    t.addRow({d.name, parses, rt, execs});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const auto cov = ir::onnxCoverage();
+  std::printf("ONNX operator coverage: %d of %d operators (%.1f%%)\n",
+              cov.supported, cov.total, 100.0 * cov.fraction());
+  bench::paperVsMeasured("ONNX-spec kernels implementable", "83%",
+                         100.0 * cov.fraction(), "%");
+
+  // Breakdown per unsupported feature family.
+  Table u({"unsupported feature", "operators"});
+  for (auto f : {ir::ReprFeature::Indirection, ir::ReprFeature::DataDependentRange,
+                 ir::ReprFeature::DependentIteration,
+                 ir::ReprFeature::GeneralControlFlow}) {
+    int n = 0;
+    for (const auto& op : ir::onnxCatalog())
+      if (op.feature == f) ++n;
+    u.addRow({ir::reprFeatureName(f), std::to_string(n)});
+  }
+  std::printf("%s", u.render().c_str());
+  return 0;
+}

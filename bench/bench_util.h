@@ -1,0 +1,47 @@
+// Shared helpers for the figure/table reproduction benches. Every bench
+// prints a paper-vs-measured summary so EXPERIMENTS.md can be assembled from
+// bench output alone.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/stats.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace perfdojo::bench {
+
+/// Budget scale factor, settable via PERFDOJO_BENCH_SCALE (default 1.0).
+/// The paper spends 1000 evaluations (heuristic search) to 8 GPU-hours
+/// (PerfLLM) per kernel; the defaults here are sized for a laptop-minute.
+inline double budgetScale() {
+  if (const char* s = std::getenv("PERFDOJO_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline int scaled(int base) {
+  const double v = base * budgetScale();
+  return v < 1 ? 1 : static_cast<int>(v);
+}
+
+inline void header(const std::string& title, const std::string& paper_claim) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("==========================================================\n\n");
+}
+
+inline void paperVsMeasured(const std::string& metric, const std::string& paper,
+                            double measured, const std::string& unit = "") {
+  std::printf("[paper-vs-measured] %-42s paper=%-10s measured=%s%s\n",
+              metric.c_str(), paper.c_str(), fmt(measured, 4).c_str(),
+              unit.c_str());
+}
+
+}  // namespace perfdojo::bench

@@ -1,0 +1,62 @@
+// Quickstart: build a kernel, inspect its textual IR, play a few moves in
+// the PerfDojo game, and emit C code for the result.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "codegen/c_codegen.h"
+#include "dojo/dojo.h"
+#include "ir/printer.h"
+#include "kernels/kernels.h"
+#include "machines/machine.h"
+#include "search/pass.h"
+
+using namespace perfdojo;
+
+int main() {
+  // 1. Every kernel starts as an unscheduled loop nest in the PerfDojo IR.
+  ir::Program kernel = kernels::makeSoftmax(1024, 512);
+  std::printf("=== softmax, unscheduled ===\n%s\n",
+              ir::printProgram(kernel).c_str());
+
+  // 2. A Dojo ties the program to a machine model and enumerates the moves
+  //    (transformation + location pairs) that provably preserve semantics.
+  dojo::Dojo game(kernel, machines::xeon());
+  std::printf("initial modeled runtime on %s: %.3g s\n",
+              game.machine().name().c_str(), game.runtime());
+  auto moves = game.moves();
+  std::printf("%zu applicable moves; the first few:\n", moves.size());
+  for (std::size_t i = 0; i < moves.size() && i < 5; ++i)
+    std::printf("  %s\n", moves[i].describe(game.program()).c_str());
+
+  // 3. Play the move that most improves the modeled runtime, ten times.
+  for (int step = 0; step < 10; ++step) {
+    auto ms = game.moves();
+    int best = -1;
+    double best_rt = game.runtime();
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      const double rt = game.machine().evaluate(ms[i].apply(game.program()));
+      if (rt < best_rt) {
+        best_rt = rt;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    std::printf("step %d: %s -> %.3g s\n", step + 1,
+                ms[static_cast<std::size_t>(best)].describe(game.program()).c_str(),
+                best_rt);
+    game.play(ms[static_cast<std::size_t>(best)]);
+  }
+
+  // 4. Or just run the built-in expert pass.
+  auto h = search::heuristicPass(kernel, machines::xeon());
+  std::printf("\nexpert pass: %zu transformations, %.3g s (%.1fx speedup)\n",
+              h.size(), machines::xeon().evaluate(h.current()),
+              machines::xeon().evaluate(kernel) /
+                  machines::xeon().evaluate(h.current()));
+
+  // 5. Emit compilable C for the optimized schedule.
+  std::printf("\n=== generated C (expert schedule) ===\n%s",
+              codegen::generateC(h.current()).c_str());
+  return 0;
+}

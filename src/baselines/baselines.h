@@ -1,0 +1,67 @@
+// Framework baselines (see DESIGN.md substitutions).
+//
+// Each baseline is a *characteristic schedule generator in the PerfDojo IR*,
+// evaluated on the same machine model as our own schedules, so every
+// comparison in Figures 1b, 8, 10, 11 and 13 is a schedule-quality
+// comparison under one consistent cost oracle:
+//
+//  * PyTorch      — well-tuned per-operator library kernels, no cross-op
+//                   fusion, generic block sizes / padding on GPU, scalar
+//                   (32-bit) loads;
+//  * JAX/XLA      — PyTorch plus elementwise fusion;
+//  * ONNXRuntime  — PyTorch-like with weaker vectorization of reductions;
+//  * OneDNN       — near-peak GEMM/convolution primitives (contractions
+//                   only);
+//  * Pluto        — polyhedral --parallel --tile: fusion, tiling and OpenMP,
+//                   no vectorization (left to the downstream compiler); its
+//                   LayerNorm schedule fails numerical validation, exactly
+//                   as the paper reports;
+//  * TVM          — an auto-scheduler searching only structured schedule
+//                   templates (tiling / vectorize / parallel / GPU binding,
+//                   no fusion beyond the template, no reassociation); per
+//                   kernel it may fail to produce any valid schedule within
+//                   its evaluation budget (timeouts), falling back to the
+//                   default schedule — the behaviour behind the paper's
+//                   13.65x GH200 gap;
+//  * Handwritten  — Snitch-cluster developers' assembly kernels: SSR/FREP
+//                   everywhere, latency-hiding tiling only on the simple
+//                   vector kernels (composite kernels keep single chains,
+//                   which is why 'transformed' wins by ~13%).
+#pragma once
+
+#include <string>
+
+#include "machines/machine.h"
+
+namespace perfdojo::baselines {
+
+enum class Framework {
+  PyTorch,
+  Jax,
+  OnnxRuntime,
+  OneDnn,
+  Pluto,
+  Tvm,
+  Handwritten,
+};
+
+const char* frameworkName(Framework f);
+
+struct BaselineResult {
+  double runtime = 0;    // modeled seconds (of the schedule actually used)
+  bool valid = true;     // false: no valid schedule / failed validation
+  std::string note;      // diagnosis, e.g. "auto-scheduler timeout"
+  ir::Program program;   // the schedule this framework would execute
+};
+
+/// Builds and evaluates the framework's schedule for `kernel` on `m`.
+/// `tuning_budget` applies to auto-tuned frameworks (TVM).
+BaselineResult evaluateBaseline(Framework f, const ir::Program& kernel,
+                                const machines::Machine& m,
+                                int tuning_budget = 1000,
+                                std::uint64_t seed = 1);
+
+/// Frameworks meaningfully available on the given machine.
+std::vector<Framework> frameworksFor(const machines::Machine& m);
+
+}  // namespace perfdojo::baselines

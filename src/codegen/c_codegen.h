@@ -1,0 +1,29 @@
+// Code generation from the PerfDojo IR (Figure 3d).
+//
+// generateC emits a self-contained C99/OpenMP translation unit with a single
+// entry point `void <name>(const <T>* in..., <T>* out...)`; annotations map
+// to pragmas (:p -> omp parallel for, :v -> omp simd, :u -> GCC unroll).
+// Generated code is compilable (the test suite builds and runs it against
+// the reference interpreter). generateCuda renders GPU-mapped programs as a
+// CUDA-style kernel + host launcher for human inspection of discovered
+// implementations (Figure 14).
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace perfdojo::codegen {
+
+/// C translation unit implementing the program. `fn_name` defaults to the
+/// program name.
+std::string generateC(const ir::Program& p, const std::string& fn_name = "");
+
+/// CUDA-flavored rendering of a :g-mapped program (display-oriented).
+std::string generateCuda(const ir::Program& p, const std::string& fn_name = "");
+
+/// Signature of the generated C entry point: inputs in declaration order,
+/// then outputs, all as pointers to the buffer dtype.
+std::string cSignature(const ir::Program& p, const std::string& fn_name = "");
+
+}  // namespace perfdojo::codegen

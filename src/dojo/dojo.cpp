@@ -1,0 +1,49 @@
+#include "dojo/dojo.h"
+
+#include "support/common.h"
+#include "verify/verifier.h"
+
+namespace perfdojo::dojo {
+
+Dojo::Dojo(ir::Program kernel, const machines::Machine& machine,
+           DojoOptions opts)
+    : machine_(&machine),
+      opts_(opts),
+      history_(std::move(kernel)),
+      best_program_(history_.original()) {
+  runtime_ = machine_->evaluate(program());
+  best_runtime_ = runtime_;
+}
+
+std::vector<transform::Action> Dojo::moves() const {
+  return transform::allActions(program(), machine_->caps());
+}
+
+void Dojo::play(const transform::Action& a) {
+  history_.push(a);
+  if (opts_.verify_moves) {
+    const auto r = verify::verifyEquivalent(history_.original(), program());
+    require(r.equivalent,
+            "Dojo: move '" + a.transform->name() +
+                "' violated semantics (applicability-rule bug): " + r.detail);
+  }
+  refresh();
+}
+
+void Dojo::undo() {
+  history_.undo();
+  runtime_ = machine_->evaluate(program());
+  // best_* intentionally kept: undoing exploration does not forget the best
+  // implementation found (the game's objective is the best state visited).
+}
+
+void Dojo::refresh() {
+  runtime_ = machine_->evaluate(program());
+  if (runtime_ < best_runtime_) {
+    best_runtime_ = runtime_;
+    best_program_ = program();
+    best_step_ = history_.size();
+  }
+}
+
+}  // namespace perfdojo::dojo

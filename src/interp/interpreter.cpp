@@ -1,0 +1,124 @@
+#include "interp/interpreter.h"
+
+#include <cmath>
+#include <map>
+
+#include "support/common.h"
+
+namespace perfdojo::interp {
+
+namespace {
+
+using ir::IndexExpr;
+using ir::Node;
+using ir::NodeId;
+using ir::OpCode;
+using ir::Operand;
+
+double applyOp(OpCode op, const double* a) {
+  switch (op) {
+    case OpCode::Mov: return a[0];
+    case OpCode::Neg: return -a[0];
+    case OpCode::Exp: return std::exp(a[0]);
+    case OpCode::Log: return std::log(a[0]);
+    case OpCode::Sqrt: return std::sqrt(a[0]);
+    case OpCode::Rsqrt: return 1.0 / std::sqrt(a[0]);
+    case OpCode::Relu: return a[0] > 0.0 ? a[0] : 0.0;
+    case OpCode::Sigmoid: return 1.0 / (1.0 + std::exp(-a[0]));
+    case OpCode::Tanh: return std::tanh(a[0]);
+    case OpCode::Abs: return std::fabs(a[0]);
+    case OpCode::Add: return a[0] + a[1];
+    case OpCode::Sub: return a[0] - a[1];
+    case OpCode::Mul: return a[0] * a[1];
+    case OpCode::Div: return a[0] / a[1];
+    case OpCode::Max: return a[0] > a[1] ? a[0] : a[1];
+    case OpCode::Min: return a[0] < a[1] ? a[0] : a[1];
+    case OpCode::Fma: return a[0] * a[1] + a[2];
+  }
+  fail("applyOp: invalid opcode");
+}
+
+class Executor {
+ public:
+  Executor(const ir::Program& p, Memory& mem) : p_(p), mem_(mem) {}
+
+  ExecStats run() {
+    execNode(p_.root);
+    return stats_;
+  }
+
+ private:
+  std::int64_t iterValue(NodeId scope) const {
+    auto it = iters_.find(scope);
+    require(it != iters_.end(), "interpreter: unbound iterator");
+    return it->second;
+  }
+
+  std::int64_t evalExpr(const IndexExpr& e) const {
+    return e.eval([this](NodeId s) { return iterValue(s); });
+  }
+
+  void evalAccessIdx(const ir::Access& a, std::vector<std::int64_t>& idx) const {
+    idx.clear();
+    for (const auto& e : a.idx) idx.push_back(evalExpr(e));
+  }
+
+  void execNode(const Node& n) {
+    if (n.isScope()) {
+      for (std::int64_t i = 0; i < n.extent; ++i) {
+        iters_[n.id] = i;
+        for (const auto& c : n.children) execNode(c);
+      }
+      iters_.erase(n.id);
+      return;
+    }
+    // Operation leaf.
+    double vals[3] = {0, 0, 0};
+    std::vector<std::int64_t> idx;
+    for (std::size_t i = 0; i < n.ins.size(); ++i) {
+      const Operand& in = n.ins[i];
+      switch (in.kind) {
+        case Operand::Kind::Array: {
+          evalAccessIdx(in.access, idx);
+          vals[i] = mem_.byArray(in.access.array).at(idx);
+          ++stats_.loads;
+          break;
+        }
+        case Operand::Kind::Const:
+          vals[i] = in.cst;
+          break;
+        case Operand::Kind::Iter:
+          vals[i] = static_cast<double>(evalExpr(in.iter_expr));
+          break;
+      }
+    }
+    const double r = applyOp(n.op, vals);
+    evalAccessIdx(n.out, idx);
+    mem_.byArray(n.out.array).set(idx, r);
+    ++stats_.stores;
+    ++stats_.ops_executed;
+    if (n.op != OpCode::Mov) stats_.flops += (n.op == OpCode::Fma) ? 2 : 1;
+  }
+
+  const ir::Program& p_;
+  Memory& mem_;
+  std::map<NodeId, std::int64_t> iters_;
+  ExecStats stats_;
+};
+
+}  // namespace
+
+ExecStats execute(const ir::Program& p, Memory& mem) {
+  Executor e(p, mem);
+  return e.run();
+}
+
+RunResult runWithRandomInputs(const ir::Program& p, std::uint64_t seed) {
+  Memory mem(p);
+  Rng rng(seed);
+  mem.randomizeInputs(p, rng);
+  ExecStats stats = execute(p, mem);
+  return {std::move(mem), stats};
+}
+
+}  // namespace perfdojo::interp

@@ -1,0 +1,35 @@
+// Reference interpreter: the executable semantics of the PerfDojo IR.
+//
+// Annotations (:u/:p/:v/GPU/SSR/FREP) never change observable results — that
+// is exactly the semantic-preservation contract — so the interpreter executes
+// every scope as a plain sequential loop. It is the oracle against which all
+// transformations are numerically validated.
+#pragma once
+
+#include <cstdint>
+
+#include "interp/tensor.h"
+#include "ir/program.h"
+
+namespace perfdojo::interp {
+
+struct ExecStats {
+  std::int64_t ops_executed = 0;   // scalar op instances
+  std::int64_t flops = 0;          // excluding Mov
+  std::int64_t loads = 0;          // array-element reads
+  std::int64_t stores = 0;         // array-element writes
+};
+
+/// Runs the program on the given memory. Inputs must be initialized by the
+/// caller; outputs are left in memory. Returns execution statistics.
+ExecStats execute(const ir::Program& p, Memory& mem);
+
+/// Convenience: fresh memory, random inputs with the given seed, execute,
+/// return (memory, stats).
+struct RunResult {
+  Memory mem;
+  ExecStats stats;
+};
+RunResult runWithRandomInputs(const ir::Program& p, std::uint64_t seed);
+
+}  // namespace perfdojo::interp

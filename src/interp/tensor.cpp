@@ -1,0 +1,78 @@
+#include "interp/tensor.h"
+
+#include "support/common.h"
+
+namespace perfdojo::interp {
+
+Tensor::Tensor(std::vector<std::int64_t> shape, std::vector<bool> materialized)
+    : shape_(std::move(shape)) {
+  require(shape_.size() == materialized.size(), "Tensor: mask size mismatch");
+  strides_.assign(shape_.size(), 0);
+  std::int64_t stride = 1;
+  for (std::size_t i = shape_.size(); i-- > 0;) {
+    if (materialized[i]) {
+      strides_[i] = stride;
+      stride *= shape_[i];
+    } else {
+      strides_[i] = 0;
+    }
+  }
+  data_.assign(static_cast<std::size_t>(stride), 0.0);
+}
+
+std::int64_t Tensor::offset(const std::vector<std::int64_t>& idx) const {
+  require(idx.size() == shape_.size(), "Tensor::offset: rank mismatch");
+  std::int64_t off = 0;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    require(idx[i] >= 0 && idx[i] < shape_[i],
+            "Tensor::offset: index " + std::to_string(idx[i]) +
+                " out of bounds for dim of size " + std::to_string(shape_[i]));
+    off += idx[i] * strides_[i];
+  }
+  return off;
+}
+
+void Tensor::fill(double v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::fillRandom(Rng& rng, double lo, double hi) {
+  for (auto& x : data_) x = rng.uniformReal(lo, hi);
+}
+
+Memory::Memory(const ir::Program& p) {
+  for (const auto& b : p.buffers) {
+    buffers_.emplace(b.name, Tensor(b.shape, b.materialized));
+    for (const auto& a : b.arrays) array_to_buffer_[a] = b.name;
+  }
+}
+
+Tensor& Memory::byArray(const std::string& array) {
+  auto it = array_to_buffer_.find(array);
+  require(it != array_to_buffer_.end(), "Memory: unknown array '" + array + "'");
+  return buffers_.at(it->second);
+}
+
+const Tensor& Memory::byArray(const std::string& array) const {
+  auto it = array_to_buffer_.find(array);
+  require(it != array_to_buffer_.end(), "Memory: unknown array '" + array + "'");
+  return buffers_.at(it->second);
+}
+
+Tensor& Memory::byBuffer(const std::string& buffer) {
+  auto it = buffers_.find(buffer);
+  require(it != buffers_.end(), "Memory: unknown buffer '" + buffer + "'");
+  return it->second;
+}
+
+const Tensor& Memory::byBuffer(const std::string& buffer) const {
+  auto it = buffers_.find(buffer);
+  require(it != buffers_.end(), "Memory: unknown buffer '" + buffer + "'");
+  return it->second;
+}
+
+void Memory::randomizeInputs(const ir::Program& p, Rng& rng) {
+  for (const auto& in : p.inputs) byArray(in).fillRandom(rng);
+}
+
+}  // namespace perfdojo::interp

@@ -1,0 +1,60 @@
+// Dense tensor storage for the reference interpreter. Values are held as
+// doubles regardless of declared dtype; dtype affects only the machine
+// models' byte accounting. Non-materialized buffer dimensions (the `:N`
+// suffix) collapse to a single stored element (stride 0).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "support/rng.h"
+
+namespace perfdojo::interp {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::vector<std::int64_t> shape, std::vector<bool> materialized);
+
+  /// Flat offset for a logical index (bounds-checked).
+  std::int64_t offset(const std::vector<std::int64_t>& idx) const;
+
+  double at(const std::vector<std::int64_t>& idx) const { return data_[offset(idx)]; }
+  void set(const std::vector<std::int64_t>& idx, double v) { data_[offset(idx)] = v; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+
+  void fill(double v);
+  void fillRandom(Rng& rng, double lo = -1.0, double hi = 1.0);
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<std::int64_t> strides_;  // 0 for non-materialized dims
+  std::vector<double> data_;
+};
+
+/// The memory environment of one interpretation: one Tensor per *buffer*;
+/// array names alias into their backing buffer's tensor.
+class Memory {
+ public:
+  explicit Memory(const ir::Program& p);
+
+  Tensor& byArray(const std::string& array);
+  const Tensor& byArray(const std::string& array) const;
+  Tensor& byBuffer(const std::string& buffer);
+  const Tensor& byBuffer(const std::string& buffer) const;
+
+  /// Fills every input array's buffer with uniform random values.
+  void randomizeInputs(const ir::Program& p, Rng& rng);
+
+ private:
+  std::map<std::string, Tensor> buffers_;
+  std::map<std::string, std::string> array_to_buffer_;
+};
+
+}  // namespace perfdojo::interp

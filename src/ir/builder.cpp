@@ -1,0 +1,103 @@
+#include "ir/builder.h"
+
+#include "ir/walk.h"
+#include "support/common.h"
+
+namespace perfdojo::ir {
+
+Builder::Builder(std::string name) : p_(makeProgram(std::move(name))) {}
+
+Builder& Builder::buffer(const std::string& name, DType dtype,
+                         std::vector<std::int64_t> shape, MemSpace space,
+                         std::vector<std::string> arrays) {
+  require(!finished_, "Builder: already finished");
+  Buffer b;
+  b.name = name;
+  b.dtype = dtype;
+  b.shape = std::move(shape);
+  b.materialized.assign(b.shape.size(), true);
+  b.space = space;
+  b.arrays = arrays.empty() ? std::vector<std::string>{name} : std::move(arrays);
+  p_.buffers.push_back(std::move(b));
+  return *this;
+}
+
+Builder& Builder::input(const std::string& array) {
+  p_.inputs.push_back(array);
+  return *this;
+}
+
+Builder& Builder::output(const std::string& array) {
+  p_.outputs.push_back(array);
+  return *this;
+}
+
+Node* Builder::current() {
+  Node* n = &p_.root;
+  for (NodeId id : stack_) {
+    Node* next = nullptr;
+    for (auto& c : n->children)
+      if (c.id == id) next = &c;
+    require(next != nullptr, "Builder: broken scope stack");
+    n = next;
+  }
+  return n;
+}
+
+NodeId Builder::beginScope(std::int64_t extent, LoopAnno anno) {
+  require(!finished_, "Builder: already finished");
+  Node s = Node::scope(p_.freshId(), extent, anno);
+  const NodeId id = s.id;
+  current()->children.push_back(std::move(s));
+  stack_.push_back(id);
+  return id;
+}
+
+Builder& Builder::endScope() {
+  require(!stack_.empty(), "Builder::endScope: no open scope");
+  stack_.pop_back();
+  return *this;
+}
+
+NodeId Builder::op(OpCode opcode, Access out, std::vector<Operand> ins) {
+  require(!finished_, "Builder: already finished");
+  Node n = Node::opNode(p_.freshId(), opcode, std::move(out), std::move(ins));
+  const NodeId id = n.id;
+  current()->children.push_back(std::move(n));
+  return id;
+}
+
+IndexExpr Builder::it(int depth) const {
+  require(depth >= 0 && depth < static_cast<int>(stack_.size()),
+          "Builder::it: depth out of range");
+  return IndexExpr::iter(stack_[static_cast<std::size_t>(depth)]);
+}
+
+IndexExpr Builder::itBack(int up) const {
+  const int d = static_cast<int>(stack_.size()) - 1 - up;
+  return it(d);
+}
+
+Access Builder::at(const std::string& array, std::vector<IndexExpr> idx) const {
+  Access a;
+  a.array = array;
+  a.idx = std::move(idx);
+  return a;
+}
+
+Access Builder::atDepths(const std::string& array,
+                         std::initializer_list<int> depths) const {
+  std::vector<IndexExpr> idx;
+  for (int d : depths) idx.push_back(it(d));
+  return at(array, std::move(idx));
+}
+
+Program Builder::finish() {
+  require(!finished_, "Builder::finish: called twice");
+  require(stack_.empty(), "Builder::finish: unclosed scopes remain");
+  finished_ = true;
+  p_.validate();
+  return std::move(p_);
+}
+
+}  // namespace perfdojo::ir

@@ -1,0 +1,60 @@
+// Fluent builder for constructing kernels programmatically. The kernel
+// library (src/kernels) is written against this API.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace perfdojo::ir {
+
+class Builder {
+ public:
+  explicit Builder(std::string name);
+
+  /// Declares a buffer; `arrays` defaults to {name}. All dims materialized.
+  Builder& buffer(const std::string& name, DType dtype,
+                  std::vector<std::int64_t> shape,
+                  MemSpace space = MemSpace::Heap,
+                  std::vector<std::string> arrays = {});
+
+  Builder& input(const std::string& array);
+  Builder& output(const std::string& array);
+
+  /// Opens a scope; subsequent ops/scopes nest inside until endScope().
+  NodeId beginScope(std::int64_t extent, LoopAnno anno = LoopAnno::None);
+  Builder& endScope();
+
+  /// Emits an operation inside the current scope.
+  NodeId op(OpCode opcode, Access out, std::vector<Operand> ins);
+
+  /// Iterator of the enclosing scope at `depth` (0 = outermost open scope).
+  IndexExpr it(int depth) const;
+  /// Iterator of the innermost currently-open scope minus `up` levels.
+  IndexExpr itBack(int up = 0) const;
+
+  /// Builds an access using the currently-open scope chain.
+  Access at(const std::string& array, std::vector<IndexExpr> idx) const;
+  /// Access indexed by the iterators at the given depths (common case).
+  Access atDepths(const std::string& array, std::initializer_list<int> depths) const;
+
+  static Operand cst(double v) { return Operand::constant(v); }
+  static Operand arr(Access a) { return Operand::array(std::move(a)); }
+  static Operand iv(IndexExpr e) { return Operand::iter(std::move(e)); }
+
+  /// Finalizes: closes sanity-checks (all scopes ended) and validates.
+  Program finish();
+
+  int openScopes() const { return static_cast<int>(stack_.size()); }
+
+ private:
+  Node* current();
+
+  Program p_;
+  std::vector<NodeId> stack_;
+  bool finished_ = false;
+};
+
+}  // namespace perfdojo::ir

@@ -1,0 +1,23 @@
+#include "ir/canonical.h"
+
+#include <algorithm>
+
+#include "ir/printer.h"
+#include "support/common.h"
+
+namespace perfdojo::ir {
+
+std::string canonicalText(const Program& p) {
+  Program q = p;  // value copy; ids preserved but they don't appear in text
+  std::sort(q.buffers.begin(), q.buffers.end(),
+            [](const Buffer& a, const Buffer& b) { return a.name < b.name; });
+  return printProgram(q);
+}
+
+std::uint64_t canonicalHash(const Program& p) { return fnv1a(canonicalText(p)); }
+
+bool canonicallyEqual(const Program& a, const Program& b) {
+  return canonicalText(a) == canonicalText(b);
+}
+
+}  // namespace perfdojo::ir

@@ -1,0 +1,63 @@
+// Scalar data types and memory spaces of PerfDojo buffers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/common.h"
+
+namespace perfdojo::ir {
+
+enum class DType : std::uint8_t { F32, F64, I32, I64 };
+
+inline const char* dtypeName(DType t) {
+  switch (t) {
+    case DType::F32: return "f32";
+    case DType::F64: return "f64";
+    case DType::I32: return "i32";
+    case DType::I64: return "i64";
+  }
+  fail("dtypeName: invalid dtype");
+}
+
+inline int dtypeBytes(DType t) {
+  switch (t) {
+    case DType::F32:
+    case DType::I32: return 4;
+    case DType::F64:
+    case DType::I64: return 8;
+  }
+  fail("dtypeBytes: invalid dtype");
+}
+
+inline bool parseDType(const std::string& s, DType& out) {
+  if (s == "f32") { out = DType::F32; return true; }
+  if (s == "f64") { out = DType::F64; return true; }
+  if (s == "i32") { out = DType::I32; return true; }
+  if (s == "i64") { out = DType::I64; return true; }
+  return false;
+}
+
+/// Where a buffer lives. The paper's textual format distinguishes heap and
+/// stack; GPU-mapped programs additionally use shared memory and registers.
+enum class MemSpace : std::uint8_t { Heap, Stack, Shared, Register };
+
+inline const char* memSpaceName(MemSpace m) {
+  switch (m) {
+    case MemSpace::Heap: return "heap";
+    case MemSpace::Stack: return "stack";
+    case MemSpace::Shared: return "shared";
+    case MemSpace::Register: return "register";
+  }
+  fail("memSpaceName: invalid memory space");
+}
+
+inline bool parseMemSpace(const std::string& s, MemSpace& out) {
+  if (s == "heap") { out = MemSpace::Heap; return true; }
+  if (s == "stack") { out = MemSpace::Stack; return true; }
+  if (s == "shared") { out = MemSpace::Shared; return true; }
+  if (s == "register") { out = MemSpace::Register; return true; }
+  return false;
+}
+
+}  // namespace perfdojo::ir

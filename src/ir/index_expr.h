@@ -1,0 +1,91 @@
+// Index expressions: integer expressions over iteration-scope iterators used
+// to address multidimensional arrays.
+//
+// Internally iterators refer to scopes by stable NodeId; the textual format
+// renders them as `{depth}` relative to the accessing operation, exactly as
+// in the paper. Keeping ids internal makes transformations (which restructure
+// the scope tree) robust: moving a scope does not invalidate references.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfdojo::ir {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0;
+
+class IndexExpr {
+ public:
+  enum class Kind : std::uint8_t { Const, Iter, Add, Sub, Mul, Div, Mod };
+
+  IndexExpr() : kind_(Kind::Const), value_(0) {}
+
+  static IndexExpr constant(std::int64_t v);
+  static IndexExpr iter(NodeId scope);
+  static IndexExpr binary(Kind k, IndexExpr a, IndexExpr b);
+  static IndexExpr add(IndexExpr a, IndexExpr b);
+  static IndexExpr sub(IndexExpr a, IndexExpr b);
+  static IndexExpr mul(IndexExpr a, IndexExpr b);
+  static IndexExpr div(IndexExpr a, IndexExpr b);
+  static IndexExpr mod(IndexExpr a, IndexExpr b);
+
+  Kind kind() const { return kind_; }
+  std::int64_t constValue() const;
+  NodeId iterScope() const;
+  const IndexExpr& lhs() const;
+  const IndexExpr& rhs() const;
+
+  bool isConst() const { return kind_ == Kind::Const; }
+  bool isIter() const { return kind_ == Kind::Iter; }
+
+  /// True if this is exactly `iter(scope)`.
+  bool isIterOf(NodeId scope) const {
+    return kind_ == Kind::Iter && iter_ == scope;
+  }
+
+  /// Collects every scope id referenced anywhere in the expression.
+  void collectIters(std::vector<NodeId>& out) const;
+  bool usesIter(NodeId scope) const;
+
+  /// Replaces every occurrence of `iter(from)` with `repl` (deep).
+  IndexExpr substitute(NodeId from, const IndexExpr& repl) const;
+
+  /// Evaluates given the current value of each iterator (lookup callback).
+  template <typename Lookup>
+  std::int64_t eval(const Lookup& lookup) const {
+    switch (kind_) {
+      case Kind::Const: return value_;
+      case Kind::Iter: return lookup(iter_);
+      case Kind::Add: return kids_[0].eval(lookup) + kids_[1].eval(lookup);
+      case Kind::Sub: return kids_[0].eval(lookup) - kids_[1].eval(lookup);
+      case Kind::Mul: return kids_[0].eval(lookup) * kids_[1].eval(lookup);
+      case Kind::Div: return kids_[0].eval(lookup) / kids_[1].eval(lookup);
+      case Kind::Mod: return kids_[0].eval(lookup) % kids_[1].eval(lookup);
+    }
+    return 0;
+  }
+
+  /// Constant-folds trivial identities (x*1, x+0, c⊕c, ...).
+  IndexExpr simplified() const;
+
+  /// If the expression is affine in its iterators, i.e. sum of coef*iter plus
+  /// a constant, returns true and fills terms/offset. Division or modulo make
+  /// it non-affine (returns false).
+  struct AffineTerm {
+    NodeId scope;
+    std::int64_t coef;
+  };
+  bool asAffine(std::vector<AffineTerm>& terms, std::int64_t& offset) const;
+
+  bool operator==(const IndexExpr& other) const;
+
+ private:
+  Kind kind_;
+  std::int64_t value_ = 0;  // Const
+  NodeId iter_ = kInvalidNode;  // Iter
+  std::vector<IndexExpr> kids_;  // binary ops: exactly 2
+};
+
+}  // namespace perfdojo::ir

@@ -1,0 +1,143 @@
+#include "ir/node.h"
+
+#include "support/common.h"
+
+namespace perfdojo::ir {
+
+const char* loopAnnoSuffix(LoopAnno a) {
+  switch (a) {
+    case LoopAnno::None: return "";
+    case LoopAnno::Unroll: return ":u";
+    case LoopAnno::Parallel: return ":p";
+    case LoopAnno::Vector: return ":v";
+    case LoopAnno::GpuGrid: return ":g";
+    case LoopAnno::GpuBlock: return ":b";
+    case LoopAnno::GpuWarp: return ":w";
+    case LoopAnno::Ssr: return ":s";
+    case LoopAnno::Frep: return ":f";
+  }
+  fail("loopAnnoSuffix: invalid annotation");
+}
+
+bool parseLoopAnno(const std::string& suffix, LoopAnno& out) {
+  if (suffix == "u") { out = LoopAnno::Unroll; return true; }
+  if (suffix == "p") { out = LoopAnno::Parallel; return true; }
+  if (suffix == "v") { out = LoopAnno::Vector; return true; }
+  if (suffix == "g") { out = LoopAnno::GpuGrid; return true; }
+  if (suffix == "b") { out = LoopAnno::GpuBlock; return true; }
+  if (suffix == "w") { out = LoopAnno::GpuWarp; return true; }
+  if (suffix == "s") { out = LoopAnno::Ssr; return true; }
+  if (suffix == "f") { out = LoopAnno::Frep; return true; }
+  return false;
+}
+
+int opArity(OpCode op) {
+  switch (op) {
+    case OpCode::Mov:
+    case OpCode::Neg:
+    case OpCode::Exp:
+    case OpCode::Log:
+    case OpCode::Sqrt:
+    case OpCode::Rsqrt:
+    case OpCode::Relu:
+    case OpCode::Sigmoid:
+    case OpCode::Tanh:
+    case OpCode::Abs:
+      return 1;
+    case OpCode::Add:
+    case OpCode::Sub:
+    case OpCode::Mul:
+    case OpCode::Div:
+    case OpCode::Max:
+    case OpCode::Min:
+      return 2;
+    case OpCode::Fma:
+      return 3;
+  }
+  fail("opArity: invalid opcode");
+}
+
+const char* opName(OpCode op) {
+  switch (op) {
+    case OpCode::Mov: return "mov";
+    case OpCode::Neg: return "neg";
+    case OpCode::Exp: return "exp";
+    case OpCode::Log: return "log";
+    case OpCode::Sqrt: return "sqrt";
+    case OpCode::Rsqrt: return "rsqrt";
+    case OpCode::Relu: return "relu";
+    case OpCode::Sigmoid: return "sigmoid";
+    case OpCode::Tanh: return "tanh";
+    case OpCode::Abs: return "abs";
+    case OpCode::Add: return "add";
+    case OpCode::Sub: return "sub";
+    case OpCode::Mul: return "mul";
+    case OpCode::Div: return "div";
+    case OpCode::Max: return "max";
+    case OpCode::Min: return "min";
+    case OpCode::Fma: return "fma";
+  }
+  fail("opName: invalid opcode");
+}
+
+bool parseOpCode(const std::string& s, OpCode& out) {
+  static const struct { const char* name; OpCode op; } table[] = {
+      {"mov", OpCode::Mov},     {"neg", OpCode::Neg},
+      {"exp", OpCode::Exp},     {"log", OpCode::Log},
+      {"sqrt", OpCode::Sqrt},   {"rsqrt", OpCode::Rsqrt},
+      {"relu", OpCode::Relu},   {"sigmoid", OpCode::Sigmoid},
+      {"tanh", OpCode::Tanh},   {"abs", OpCode::Abs},
+      {"add", OpCode::Add},     {"sub", OpCode::Sub},
+      {"mul", OpCode::Mul},     {"div", OpCode::Div},
+      {"max", OpCode::Max},     {"min", OpCode::Min},
+      {"fma", OpCode::Fma},
+  };
+  for (const auto& e : table) {
+    if (s == e.name) {
+      out = e.op;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool opIsFloatingPoint(OpCode op) {
+  (void)op;
+  return true;  // All current ops operate on floating-point lanes.
+}
+
+bool opIsAssociativeCommutative(OpCode op) {
+  switch (op) {
+    case OpCode::Add:
+    case OpCode::Mul:
+    case OpCode::Max:
+    case OpCode::Min:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Node Node::scope(NodeId id, std::int64_t extent, LoopAnno anno) {
+  require(extent >= 1, "Node::scope: extent must be >= 1");
+  Node n;
+  n.kind = NodeKind::Scope;
+  n.id = id;
+  n.extent = extent;
+  n.anno = anno;
+  return n;
+}
+
+Node Node::opNode(NodeId id, OpCode op, Access out, std::vector<Operand> ins) {
+  require(static_cast<int>(ins.size()) == opArity(op),
+          std::string("Node::opNode: wrong arity for ") + opName(op));
+  Node n;
+  n.kind = NodeKind::Op;
+  n.id = id;
+  n.op = op;
+  n.out = std::move(out);
+  n.ins = std::move(ins);
+  return n;
+}
+
+}  // namespace perfdojo::ir

@@ -1,0 +1,154 @@
+#include "ir/onnx_coverage.h"
+
+#include "support/common.h"
+
+namespace perfdojo::ir {
+
+const char* reprFeatureName(ReprFeature f) {
+  switch (f) {
+    case ReprFeature::Elementwise: return "element-wise";
+    case ReprFeature::Broadcast: return "broadcast";
+    case ReprFeature::ConstantAsValue: return "constant as value";
+    case ReprFeature::IndexAsValue: return "index as value";
+    case ReprFeature::Reduction: return "reduction";
+    case ReprFeature::ExpressionAsLocation: return "expression as location";
+    case ReprFeature::Indirection: return "indirection";
+    case ReprFeature::DataDependentRange: return "data-dependent range";
+    case ReprFeature::DependentIteration: return "dependent iteration";
+    case ReprFeature::GeneralControlFlow: return "general control flow";
+  }
+  fail("reprFeatureName: invalid feature");
+}
+
+bool reprFeatureSupported(ReprFeature f) {
+  switch (f) {
+    case ReprFeature::Elementwise:
+    case ReprFeature::Broadcast:
+    case ReprFeature::ConstantAsValue:
+    case ReprFeature::IndexAsValue:
+    case ReprFeature::Reduction:
+    case ReprFeature::ExpressionAsLocation:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const std::vector<OnnxOp>& onnxCatalog() {
+  using F = ReprFeature;
+  static const std::vector<OnnxOp> catalog = {
+      // --- Element-wise unary / binary math ---
+      {"Abs", F::Elementwise}, {"Acos", F::Elementwise}, {"Acosh", F::Elementwise},
+      {"Asin", F::Elementwise}, {"Asinh", F::Elementwise}, {"Atan", F::Elementwise},
+      {"Atanh", F::Elementwise}, {"Ceil", F::Elementwise}, {"Cos", F::Elementwise},
+      {"Cosh", F::Elementwise}, {"Erf", F::Elementwise}, {"Exp", F::Elementwise},
+      {"Floor", F::Elementwise}, {"Identity", F::Elementwise}, {"Log", F::Elementwise},
+      {"Neg", F::Elementwise}, {"Not", F::Elementwise}, {"Reciprocal", F::Elementwise},
+      {"Round", F::Elementwise}, {"Sign", F::Elementwise}, {"Sin", F::Elementwise},
+      {"Sinh", F::Elementwise}, {"Sqrt", F::Elementwise}, {"Tan", F::Elementwise},
+      {"Tanh", F::Elementwise}, {"Relu", F::Elementwise}, {"Sigmoid", F::Elementwise},
+      {"Softplus", F::Elementwise}, {"Softsign", F::Elementwise},
+      {"HardSigmoid", F::ConstantAsValue}, {"HardSwish", F::ConstantAsValue},
+      {"Elu", F::ConstantAsValue}, {"Selu", F::ConstantAsValue},
+      {"Celu", F::ConstantAsValue}, {"ThresholdedRelu", F::ConstantAsValue},
+      {"LeakyRelu", F::ConstantAsValue}, {"Shrink", F::ConstantAsValue},
+      {"Clip", F::ConstantAsValue}, {"Cast", F::Elementwise},
+      {"CastLike", F::Broadcast}, {"IsNaN", F::Elementwise}, {"IsInf", F::Elementwise},
+      {"Mish", F::Elementwise}, {"Gelu", F::Elementwise},
+      // --- Element-wise binary with numpy broadcasting ---
+      {"Add", F::Broadcast}, {"Sub", F::Broadcast}, {"Mul", F::Broadcast},
+      {"Div", F::Broadcast}, {"Pow", F::Broadcast}, {"Mod", F::Broadcast},
+      {"Max", F::Broadcast}, {"Min", F::Broadcast}, {"Mean", F::Broadcast},
+      {"Sum", F::Broadcast}, {"And", F::Broadcast}, {"Or", F::Broadcast},
+      {"Xor", F::Broadcast}, {"Greater", F::Broadcast}, {"Less", F::Broadcast},
+      {"Equal", F::Broadcast}, {"GreaterOrEqual", F::Broadcast},
+      {"LessOrEqual", F::Broadcast}, {"BitShift", F::Broadcast},
+      {"BitwiseAnd", F::Broadcast}, {"BitwiseOr", F::Broadcast},
+      {"BitwiseXor", F::Broadcast}, {"BitwiseNot", F::Elementwise},
+      {"Where", F::Broadcast}, {"PRelu", F::Broadcast},
+      // --- Reductions ---
+      {"ReduceSum", F::Reduction}, {"ReduceMean", F::Reduction},
+      {"ReduceMax", F::Reduction}, {"ReduceMin", F::Reduction},
+      {"ReduceProd", F::Reduction}, {"ReduceL1", F::Reduction},
+      {"ReduceL2", F::Reduction}, {"ReduceLogSum", F::Reduction},
+      {"ReduceLogSumExp", F::Reduction}, {"ReduceSumSquare", F::Reduction},
+      {"ArgMax", F::Reduction}, {"ArgMin", F::Reduction},
+      {"Softmax", F::Reduction}, {"LogSoftmax", F::Reduction},
+      {"Hardmax", F::Reduction}, {"CumSum", F::Reduction},
+      // --- Linear algebra / contractions ---
+      {"MatMul", F::Reduction}, {"Gemm", F::Reduction}, {"Einsum", F::Reduction},
+      {"MatMulInteger", F::Reduction}, {"QLinearMatMul", F::Reduction},
+      // --- Convolutions / pooling / normalization ---
+      {"Conv", F::Reduction}, {"ConvInteger", F::Reduction},
+      {"ConvTranspose", F::Reduction}, {"QLinearConv", F::Reduction},
+      {"AveragePool", F::Reduction}, {"MaxPool", F::Reduction},
+      {"GlobalAveragePool", F::Reduction}, {"GlobalMaxPool", F::Reduction},
+      {"GlobalLpPool", F::Reduction}, {"LpPool", F::Reduction},
+      {"BatchNormalization", F::Reduction}, {"InstanceNormalization", F::Reduction},
+      {"LayerNormalization", F::Reduction}, {"GroupNormalization", F::Reduction},
+      {"RMSNormalization", F::Reduction}, {"LpNormalization", F::Reduction},
+      {"MeanVarianceNormalization", F::Reduction}, {"LRN", F::Reduction},
+      {"SoftmaxCrossEntropyLoss", F::Reduction}, {"NegativeLogLikelihoodLoss", F::Reduction},
+      // --- Shape / layout (index arithmetic = index-as-value) ---
+      {"Reshape", F::IndexAsValue}, {"Transpose", F::IndexAsValue},
+      {"Flatten", F::IndexAsValue}, {"Squeeze", F::IndexAsValue},
+      {"Unsqueeze", F::IndexAsValue}, {"Concat", F::IndexAsValue},
+      {"Split", F::IndexAsValue}, {"Slice", F::IndexAsValue},
+      {"Pad", F::IndexAsValue}, {"Tile", F::IndexAsValue},
+      {"Expand", F::Broadcast}, {"DepthToSpace", F::IndexAsValue},
+      {"SpaceToDepth", F::IndexAsValue}, {"Shape", F::IndexAsValue},
+      {"Size", F::IndexAsValue}, {"EyeLike", F::IndexAsValue},
+      {"Range", F::IndexAsValue}, {"Trilu", F::IndexAsValue},
+      {"ConstantOfShape", F::ConstantAsValue}, {"Constant", F::ConstantAsValue},
+      {"ReverseSequence", F::IndexAsValue}, {"Col2Im", F::IndexAsValue},
+      // --- Quantization-style elementwise ---
+      {"QuantizeLinear", F::ConstantAsValue}, {"DequantizeLinear", F::ConstantAsValue},
+      {"DynamicQuantizeLinear", F::Reduction},
+      // --- Windowed / misc supported ---
+      {"Resize", F::ExpressionAsLocation}, {"Upsample", F::ExpressionAsLocation},
+      {"OneHot", F::ExpressionAsLocation}, {"HammingWindow", F::IndexAsValue},
+      {"HannWindow", F::IndexAsValue}, {"BlackmanWindow", F::IndexAsValue},
+      {"MelWeightMatrix", F::ExpressionAsLocation},
+      {"AffineGrid", F::IndexAsValue}, {"CenterCropPad", F::IndexAsValue},
+      {"Dropout", F::ConstantAsValue}, {"Bernoulli", F::ConstantAsValue},
+      {"RandomNormal", F::ConstantAsValue}, {"RandomNormalLike", F::ConstantAsValue},
+      {"RandomUniform", F::ConstantAsValue}, {"RandomUniformLike", F::ConstantAsValue},
+      {"Multinomial", F::Reduction},
+      // --- Indirection-gated (unsupported) ---
+      {"Gather", F::Indirection}, {"GatherElements", F::Indirection},
+      {"GatherND", F::Indirection}, {"Scatter", F::Indirection},
+      {"ScatterElements", F::Indirection}, {"ScatterND", F::Indirection},
+      {"Compress", F::Indirection}, {"MaxUnpool", F::Indirection},
+      {"MaxRoiPool", F::Indirection}, {"RoiAlign", F::Indirection},
+      {"GridSample", F::Indirection}, {"DFT", F::ExpressionAsLocation},
+      {"STFT", F::ExpressionAsLocation},
+      // --- Data-dependent range (unsupported) ---
+      {"NonZero", F::DataDependentRange}, {"Unique", F::DataDependentRange},
+      {"TopK", F::DataDependentRange}, {"NonMaxSuppression", F::DataDependentRange},
+      {"StringNormalizer", F::DataDependentRange}, {"TfIdfVectorizer", F::DataDependentRange},
+      // --- Dependent iteration (unsupported) ---
+      {"RNN", F::DependentIteration}, {"LSTM", F::DependentIteration},
+      {"GRU", F::DependentIteration},
+      // --- General control flow (unsupported) ---
+      {"If", F::GeneralControlFlow}, {"Loop", F::GeneralControlFlow},
+      {"Scan", F::GeneralControlFlow}, {"SequenceMap", F::GeneralControlFlow},
+      {"Optional", F::GeneralControlFlow}, {"OptionalGetElement", F::GeneralControlFlow},
+      {"OptionalHasElement", F::GeneralControlFlow},
+      {"SequenceAt", F::GeneralControlFlow}, {"SequenceConstruct", F::GeneralControlFlow},
+      {"SequenceEmpty", F::GeneralControlFlow}, {"SequenceErase", F::GeneralControlFlow},
+      {"SequenceInsert", F::GeneralControlFlow}, {"SequenceLength", F::GeneralControlFlow},
+      {"ConcatFromSequence", F::GeneralControlFlow}, {"SplitToSequence", F::GeneralControlFlow},
+  };
+  return catalog;
+}
+
+CoverageSummary onnxCoverage() {
+  CoverageSummary s;
+  for (const auto& op : onnxCatalog()) {
+    ++s.total;
+    if (reprFeatureSupported(op.feature)) ++s.supported;
+  }
+  return s;
+}
+
+}  // namespace perfdojo::ir

@@ -1,0 +1,318 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/common.h"
+#include "support/strings.h"
+
+namespace perfdojo::ir {
+
+namespace {
+
+/// Character-level cursor over a single line with line-numbered errors.
+class Cursor {
+ public:
+  Cursor(const std::string& s, int line_no) : s_(s), line_(line_no) {}
+
+  void skipSpace() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+  bool done() {
+    skipSpace();
+    return pos_ >= s_.size();
+  }
+  char peek() {
+    skipSpace();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  char get() {
+    skipSpace();
+    require(pos_ < s_.size(), err("unexpected end of line"));
+    return s_[pos_++];
+  }
+  void expect(char c) {
+    const char g = get();
+    require(g == c, err(std::string("expected '") + c + "', got '" + g + "'"));
+  }
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  std::string ident() {
+    skipSpace();
+    std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_'))
+      ++pos_;
+    require(pos_ > start, err("expected identifier"));
+    return s_.substr(start, pos_ - start);
+  }
+  std::int64_t integer() {
+    skipSpace();
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    require(pos_ > start, err("expected integer"));
+    return std::strtoll(s_.substr(start, pos_ - start).c_str(), nullptr, 10);
+  }
+  /// Floating literal incl. inf/-inf; also plain integers.
+  double number() {
+    skipSpace();
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    if (s_.compare(pos_, 3, "inf") == 0) {
+      pos_ += 3;
+      return s_[start] == '-' ? -1.0 / 0.0 : 1.0 / 0.0;
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            ((s_[pos_] == '+' || s_[pos_] == '-') &&
+             (s_[pos_ - 1] == 'e' || s_[pos_ - 1] == 'E'))))
+      ++pos_;
+    require(pos_ > start, err("expected number"));
+    return std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+  }
+  std::string err(const std::string& msg) const {
+    return "parse error at line " + std::to_string(line_) + ": " + msg +
+           " in \"" + s_ + "\"";
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+/// Recursive-descent index-expression grammar:
+///   expr   := term (('+'|'-') term)*
+///   term   := factor (('*'|'/'|'%') factor)*
+///   factor := INT | '{' INT '}' | '(' expr ')'
+class ExprParser {
+ public:
+  ExprParser(Cursor& c, const std::vector<NodeId>& chain) : c_(c), chain_(chain) {}
+
+  IndexExpr expr() {
+    IndexExpr e = term();
+    while (true) {
+      if (c_.consume('+')) e = IndexExpr::add(std::move(e), term());
+      else if (c_.consume('-')) e = IndexExpr::sub(std::move(e), term());
+      else break;
+    }
+    return e;
+  }
+
+ private:
+  IndexExpr term() {
+    IndexExpr e = factor();
+    while (true) {
+      if (c_.consume('*')) e = IndexExpr::mul(std::move(e), factor());
+      else if (c_.consume('/')) e = IndexExpr::div(std::move(e), factor());
+      else if (c_.consume('%')) e = IndexExpr::mod(std::move(e), factor());
+      else break;
+    }
+    return e;
+  }
+
+  IndexExpr factor() {
+    if (c_.consume('(')) {
+      IndexExpr e = expr();
+      c_.expect(')');
+      return e;
+    }
+    if (c_.consume('{')) {
+      const std::int64_t depth = c_.integer();
+      c_.expect('}');
+      require(depth >= 0 && depth < static_cast<std::int64_t>(chain_.size()),
+              c_.err("iterator depth {" + std::to_string(depth) +
+                     "} out of range (nesting depth " +
+                     std::to_string(chain_.size()) + ")"));
+      return IndexExpr::iter(chain_[static_cast<std::size_t>(depth)]);
+    }
+    return IndexExpr::constant(c_.integer());
+  }
+
+  Cursor& c_;
+  const std::vector<NodeId>& chain_;
+};
+
+bool looksLikeExprStart(char c) {
+  return c == '{' || c == '(' || c == '-' || std::isdigit(static_cast<unsigned char>(c));
+}
+
+Access parseAccess(Cursor& c, const std::string& array,
+                   const std::vector<NodeId>& chain) {
+  Access a;
+  a.array = array;
+  c.expect('[');
+  if (!c.consume(']')) {
+    do {
+      ExprParser ep(c, chain);
+      a.idx.push_back(ep.expr().simplified());
+    } while (c.consume(','));
+    c.expect(']');
+  }
+  return a;
+}
+
+}  // namespace
+
+Program parseProgram(const std::string& text) {
+  Program p;
+  p.name = "unnamed";
+  p.next_id = 1;
+  p.root = Node::scope(p.freshId(), 1);
+
+  const auto lines = splitLines(text);
+  // node_stack[d] = pointer-path index into the tree by depth; we store the
+  // chain of scope node ids and rebuild paths on insertion to avoid holding
+  // pointers into reallocating vectors.
+  std::vector<NodeId> scope_stack;  // enclosing scope ids (excl. root)
+
+  auto nodeAtPath = [&](std::size_t depth) -> Node* {
+    Node* n = &p.root;
+    for (std::size_t i = 0; i < depth; ++i) {
+      Node* next = nullptr;
+      for (auto& c : n->children)
+        if (c.id == scope_stack[i]) next = &c;
+      require(next != nullptr, "parser internal: broken scope stack");
+      n = next;
+    }
+    return n;
+  };
+
+  bool in_tree = false;
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const int line_no = static_cast<int>(ln) + 1;
+    std::string line = lines[ln];
+    // Strip comments.
+    if (auto pos = line.find('#'); pos != std::string::npos) line = line.substr(0, pos);
+    if (trim(line).empty()) continue;
+
+    if (!in_tree) {
+      const std::string t = trim(line);
+      if (startsWith(t, "kernel ")) {
+        p.name = trim(t.substr(7));
+        continue;
+      }
+      if (startsWith(t, "buffer ")) {
+        Cursor c(line, line_no);
+        c.ident();  // "buffer"
+        Buffer b;
+        b.name = c.ident();
+        const std::string dt = c.ident();
+        require(parseDType(dt, b.dtype), c.err("unknown dtype '" + dt + "'"));
+        c.expect('[');
+        if (!c.consume(']')) {
+          do {
+            b.shape.push_back(c.integer());
+            bool mat = true;
+            if (c.consume(':')) {
+              const std::string suffix = c.ident();
+              require(suffix == "N", c.err("unknown dim suffix ':" + suffix + "'"));
+              mat = false;
+            }
+            b.materialized.push_back(mat);
+          } while (c.consume(','));
+          c.expect(']');
+        }
+        const std::string sp = c.ident();
+        require(parseMemSpace(sp, b.space), c.err("unknown memory space '" + sp + "'"));
+        if (c.consume('-')) {
+          c.expect('>');
+          do {
+            b.arrays.push_back(c.ident());
+          } while (c.consume(','));
+        }
+        if (b.arrays.empty()) b.arrays.push_back(b.name);
+        require(c.done(), c.err("trailing characters after buffer declaration"));
+        p.buffers.push_back(std::move(b));
+        continue;
+      }
+      if (startsWith(t, "in ")) {
+        for (const auto& a : splitTokens(t.substr(3))) p.inputs.push_back(a);
+        continue;
+      }
+      if (startsWith(t, "out ")) {
+        for (const auto& a : splitTokens(t.substr(4))) p.outputs.push_back(a);
+        continue;
+      }
+      in_tree = true;  // First non-header line starts the tree.
+    }
+
+    // --- Tree line: count "| " bars to get depth. ---
+    std::size_t depth = 0;
+    std::size_t pos = 0;
+    while (pos + 1 < line.size() && line[pos] == '|') {
+      ++depth;
+      pos += (line[pos + 1] == ' ') ? 2 : 1;
+    }
+    std::string body = trim(line.substr(pos));
+    require(!body.empty() && body[0] != '|',
+            "parse error at line " + std::to_string(line_no) + ": empty tree line");
+    require(depth <= scope_stack.size(),
+            "parse error at line " + std::to_string(line_no) +
+                ": indentation jumps by more than one level");
+    scope_stack.resize(depth);
+
+    Cursor c(body, line_no);
+    // Scope line: starts with a digit and has no '='.
+    if (std::isdigit(static_cast<unsigned char>(body[0])) &&
+        body.find('=') == std::string::npos) {
+      const std::int64_t extent = c.integer();
+      LoopAnno anno = LoopAnno::None;
+      if (c.consume(':')) {
+        const std::string s = c.ident();
+        require(parseLoopAnno(s, anno), c.err("unknown scope suffix ':" + s + "'"));
+      }
+      require(c.done(), c.err("trailing characters after scope"));
+      Node scope = Node::scope(p.freshId(), extent, anno);
+      const NodeId sid = scope.id;
+      nodeAtPath(depth)->children.push_back(std::move(scope));
+      scope_stack.push_back(sid);
+      continue;
+    }
+
+    // Op line: out[...] = opname operand*
+    const std::string out_array = c.ident();
+    Access out = parseAccess(c, out_array, scope_stack);
+    c.expect('=');
+    const std::string op_s = c.ident();
+    OpCode op;
+    require(parseOpCode(op_s, op), c.err("unknown op '" + op_s + "'"));
+    std::vector<Operand> ins;
+    while (!c.done()) {
+      const char nc = c.peek();
+      if (looksLikeExprStart(nc)) {
+        // Iterator expression or numeric constant. A pure number (no '{')
+        // is a floating constant; anything containing '{' is an iter expr.
+        // Distinguish by attempting to detect '{' ahead of the next space.
+        if (nc == '{' || nc == '(') {
+          ExprParser ep(c, scope_stack);
+          ins.push_back(Operand::iter(ep.expr().simplified()));
+        } else {
+          ins.push_back(Operand::constant(c.number()));
+        }
+      } else {
+        const std::string arr = c.ident();
+        if (arr == "inf" && c.peek() != '[') {
+          ins.push_back(Operand::constant(1.0 / 0.0));
+        } else {
+          ins.push_back(Operand::array(parseAccess(c, arr, scope_stack)));
+        }
+      }
+    }
+    Node opn = Node::opNode(p.freshId(), op, std::move(out), std::move(ins));
+    nodeAtPath(depth)->children.push_back(std::move(opn));
+  }
+
+  p.validate();
+  return p;
+}
+
+}  // namespace perfdojo::ir

@@ -1,0 +1,14 @@
+// Parser for the textual format produced by printer.h.
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace perfdojo::ir {
+
+/// Parses a full program (header + tree). Throws Error with a line-numbered
+/// message on malformed input. The result passes Program::validate().
+Program parseProgram(const std::string& text);
+
+}  // namespace perfdojo::ir

@@ -1,0 +1,174 @@
+#include "ir/program.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/walk.h"
+#include "support/common.h"
+
+namespace perfdojo::ir {
+
+std::int64_t Buffer::storedElements() const {
+  std::int64_t n = 1;
+  for (std::size_t i = 0; i < shape.size(); ++i)
+    if (materialized[i]) n *= shape[i];
+  return n;
+}
+
+std::int64_t Buffer::logicalElements() const {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) n *= d;
+  return n;
+}
+
+const Buffer* Program::findBuffer(const std::string& bname) const {
+  for (const auto& b : buffers)
+    if (b.name == bname) return &b;
+  return nullptr;
+}
+
+Buffer* Program::findBuffer(const std::string& bname) {
+  return const_cast<Buffer*>(static_cast<const Program*>(this)->findBuffer(bname));
+}
+
+const Buffer* Program::bufferOfArray(const std::string& array) const {
+  for (const auto& b : buffers)
+    if (std::find(b.arrays.begin(), b.arrays.end(), array) != b.arrays.end())
+      return &b;
+  return nullptr;
+}
+
+Buffer* Program::bufferOfArray(const std::string& array) {
+  return const_cast<Buffer*>(static_cast<const Program*>(this)->bufferOfArray(array));
+}
+
+bool Program::isInput(const std::string& array) const {
+  return std::find(inputs.begin(), inputs.end(), array) != inputs.end();
+}
+
+bool Program::isOutput(const std::string& array) const {
+  return std::find(outputs.begin(), outputs.end(), array) != outputs.end();
+}
+
+bool Program::isExternal(const std::string& array) const {
+  return isInput(array) || isOutput(array);
+}
+
+namespace {
+
+void validateNode(const Program& p, const Node& n,
+                  std::vector<NodeId>& enclosing, std::set<NodeId>& seen) {
+  require(n.id != kInvalidNode, "validate: node with invalid id");
+  require(seen.insert(n.id).second,
+          "validate: duplicate node id " + std::to_string(n.id));
+  require(n.id < p.next_id, "validate: node id >= next_id");
+
+  auto checkIndexExpr = [&](const IndexExpr& e, const std::string& ctx) {
+    std::vector<NodeId> iters;
+    e.collectIters(iters);
+    for (NodeId it : iters) {
+      require(std::find(enclosing.begin(), enclosing.end(), it) != enclosing.end(),
+              "validate: " + ctx + " references iterator " + std::to_string(it) +
+                  " which is not an enclosing scope");
+    }
+  };
+
+  auto checkAccess = [&](const Access& a, const std::string& ctx) {
+    const Buffer* b = p.bufferOfArray(a.array);
+    require(b != nullptr, "validate: " + ctx + " unknown array '" + a.array + "'");
+    require(a.idx.size() == b->rank(),
+            "validate: " + ctx + " rank mismatch for array '" + a.array + "'");
+    for (const auto& e : a.idx) checkIndexExpr(e, ctx);
+  };
+
+  if (n.isScope()) {
+    require(n.extent >= 1, "validate: scope extent must be >= 1");
+    enclosing.push_back(n.id);
+    for (const auto& c : n.children) validateNode(p, c, enclosing, seen);
+    enclosing.pop_back();
+  } else {
+    require(n.children.empty(), "validate: op node with children");
+    require(static_cast<int>(n.ins.size()) == opArity(n.op),
+            "validate: op arity mismatch");
+    checkAccess(n.out, "output of op " + std::to_string(n.id));
+    for (const auto& in : n.ins) {
+      if (in.kind == Operand::Kind::Array)
+        checkAccess(in.access, "input of op " + std::to_string(n.id));
+      else if (in.kind == Operand::Kind::Iter)
+        checkIndexExpr(in.iter_expr, "iter operand of op " + std::to_string(n.id));
+    }
+  }
+}
+
+}  // namespace
+
+void Program::validate() const {
+  std::set<std::string> array_names;
+  for (const auto& b : buffers) {
+    require(!b.name.empty(), "validate: buffer with empty name");
+    require(b.shape.size() == b.materialized.size(),
+            "validate: buffer '" + b.name + "' materialized mask size mismatch");
+    require(!b.arrays.empty(), "validate: buffer '" + b.name + "' has no arrays");
+    for (const auto& a : b.arrays)
+      require(array_names.insert(a).second,
+              "validate: array '" + a + "' declared in multiple buffers");
+    for (std::int64_t d : b.shape)
+      require(d >= 1, "validate: buffer '" + b.name + "' with dim < 1");
+  }
+  for (const auto& io : inputs)
+    require(array_names.count(io), "validate: undeclared input array '" + io + "'");
+  for (const auto& io : outputs)
+    require(array_names.count(io), "validate: undeclared output array '" + io + "'");
+  // External buffers must have every dimension materialized: the caller owns
+  // their layout.
+  for (const auto& b : buffers) {
+    bool external = false;
+    for (const auto& a : b.arrays)
+      if (isExternal(a)) external = true;
+    if (external)
+      for (bool m : b.materialized)
+        require(m, "validate: external buffer '" + b.name + "' has reused dim");
+  }
+
+  require(root.isScope(), "validate: root must be a scope");
+  require(root.extent == 1, "validate: root scope must have extent 1");
+  std::vector<NodeId> enclosing;
+  std::set<NodeId> seen;
+  // The root scope's iterator is not referencable (extent 1, constant 0), but
+  // allowing it is harmless; include it for uniformity.
+  validateNode(*this, root, enclosing, seen);
+}
+
+std::int64_t Program::flopCount() const {
+  std::int64_t total = 0;
+  // Multiply each op's cost by the product of enclosing extents.
+  struct Frame {
+    const Node* n;
+    std::int64_t mult;
+  };
+  std::vector<Frame> stack{{&root, 1}};
+  while (!stack.empty()) {
+    auto [n, mult] = stack.back();
+    stack.pop_back();
+    if (n->isScope()) {
+      for (const auto& c : n->children) stack.push_back({&c, mult * n->extent});
+    } else {
+      const std::int64_t per_op = (n->op == OpCode::Mov) ? 0
+                                  : (n->op == OpCode::Fma) ? 2
+                                                           : 1;
+      total += per_op * mult;
+    }
+  }
+  // The root has extent 1, so the multiplier for its children is exactly 1.
+  return total;
+}
+
+Program makeProgram(std::string name) {
+  Program p;
+  p.name = std::move(name);
+  p.next_id = 1;
+  p.root = Node::scope(p.freshId(), 1);
+  return p;
+}
+
+}  // namespace perfdojo::ir

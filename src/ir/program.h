@@ -1,0 +1,76 @@
+// Program: buffer declarations + the scope/op tree + kernel I/O lists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/dtype.h"
+#include "ir/node.h"
+
+namespace perfdojo::ir {
+
+/// A memory buffer. One buffer may back several *arrays* (the paper's
+/// `-> list_of_array_names`), enabling in-place reuse of storage. Each
+/// dimension may be non-materialized (the `:N` suffix): its storage collapses
+/// to one element because iteration order allows reuse.
+struct Buffer {
+  std::string name;
+  DType dtype = DType::F32;
+  std::vector<std::int64_t> shape;
+  std::vector<bool> materialized;  // same length as shape
+  MemSpace space = MemSpace::Heap;
+  std::vector<std::string> arrays;  // defaults to {name}
+
+  std::size_t rank() const { return shape.size(); }
+
+  /// Number of scalar elements actually stored (non-materialized dims count 1).
+  std::int64_t storedElements() const;
+
+  /// Logical element count (all dims).
+  std::int64_t logicalElements() const;
+
+  std::int64_t bytes() const { return storedElements() * dtypeBytes(dtype); }
+};
+
+struct Program {
+  std::string name;
+  std::vector<Buffer> buffers;
+  std::vector<std::string> inputs;   // array names supplied by the caller
+  std::vector<std::string> outputs;  // array names observed by the caller
+  Node root;                         // Scope with extent 1; executes once
+
+  /// Next fresh NodeId; monotonically increasing, never reused, so Locations
+  /// stay unambiguous across the whole transformation history.
+  NodeId next_id = 1;
+
+  NodeId freshId() { return next_id++; }
+
+  const Buffer* findBuffer(const std::string& name) const;
+  Buffer* findBuffer(const std::string& name);
+
+  /// Resolves an array name to its backing buffer (nullptr if unknown).
+  const Buffer* bufferOfArray(const std::string& array) const;
+  Buffer* bufferOfArray(const std::string& array);
+
+  bool isInput(const std::string& array) const;
+  bool isOutput(const std::string& array) const;
+  /// True if the array participates in the kernel's external interface; the
+  /// layout and materialization of such buffers must not be changed.
+  bool isExternal(const std::string& array) const;
+
+  /// Structural validation: ids unique, iterator refs point to enclosing
+  /// scopes, arrays declared, access ranks match buffer ranks, arity correct.
+  /// Throws Error with a descriptive message on violation.
+  void validate() const;
+
+  /// Total floating-point operations executed (per interpretation); Mov ops
+  /// excluded. Used for theoretical-peak accounting in the machine models.
+  std::int64_t flopCount() const;
+};
+
+/// Makes an empty program whose root is a unit scope.
+Program makeProgram(std::string name);
+
+}  // namespace perfdojo::ir

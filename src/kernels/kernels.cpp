@@ -1,0 +1,559 @@
+#include "kernels/kernels.h"
+
+#include "ir/builder.h"
+#include "support/common.h"
+
+namespace perfdojo::kernels {
+
+using ir::Access;
+using ir::Builder;
+using ir::DType;
+using ir::IndexExpr;
+using ir::MemSpace;
+using ir::OpCode;
+
+namespace {
+constexpr double kEps = 1e-5;
+
+ir::Operand A(Access a) { return Builder::arr(std::move(a)); }
+ir::Operand C(double v) { return Builder::cst(v); }
+}  // namespace
+
+Program makeAdd(int64_t n, int64_t m) {
+  Builder b("add");
+  b.buffer("x", DType::F32, {n, m}).buffer("y", DType::F32, {n, m});
+  b.buffer("z", DType::F32, {n, m});
+  b.input("x").input("y").output("z");
+  b.beginScope(n);
+  b.beginScope(m);
+  b.op(OpCode::Add, b.atDepths("z", {0, 1}),
+       {A(b.atDepths("x", {0, 1})), A(b.atDepths("y", {0, 1}))});
+  b.endScope().endScope();
+  return b.finish();
+}
+
+Program makeMul(int64_t n, int64_t m) {
+  Builder b("mul");
+  b.buffer("x", DType::F32, {n, m}).buffer("y", DType::F32, {n, m});
+  b.buffer("z", DType::F32, {n, m});
+  b.input("x").input("y").output("z");
+  b.beginScope(n);
+  b.beginScope(m);
+  b.op(OpCode::Mul, b.atDepths("z", {0, 1}),
+       {A(b.atDepths("x", {0, 1})), A(b.atDepths("y", {0, 1}))});
+  b.endScope().endScope();
+  return b.finish();
+}
+
+Program makeRelu(int64_t n, int64_t m) {
+  Builder b("relu");
+  b.buffer("x", DType::F32, {n, m}).buffer("y", DType::F32, {n, m});
+  b.input("x").output("y");
+  b.beginScope(n);
+  b.beginScope(m);
+  b.op(OpCode::Relu, b.atDepths("y", {0, 1}), {A(b.atDepths("x", {0, 1}))});
+  b.endScope().endScope();
+  return b.finish();
+}
+
+Program makeBatchNorm(int64_t n, int64_t c, int64_t h, int64_t w) {
+  Builder b("batchnorm");
+  b.buffer("x", DType::F32, {n, c, h, w});
+  b.buffer("gamma", DType::F32, {c}).buffer("beta", DType::F32, {c});
+  b.buffer("mean", DType::F32, {c}).buffer("var", DType::F32, {c});
+  b.buffer("a", DType::F32, {c}).buffer("bb", DType::F32, {c});
+  b.buffer("t", DType::F32, {c});
+  b.buffer("y", DType::F32, {n, c, h, w});
+  b.input("x").input("gamma").input("beta").input("mean").input("var");
+  b.output("y");
+  // Host-side derivation of the per-channel affine coefficients:
+  //   a = gamma * rsqrt(var + eps); bb = beta - mean * a.
+  b.beginScope(c);
+  b.op(OpCode::Add, b.atDepths("t", {0}), {A(b.atDepths("var", {0})), C(kEps)});
+  b.op(OpCode::Rsqrt, b.atDepths("t", {0}), {A(b.atDepths("t", {0}))});
+  b.op(OpCode::Mul, b.atDepths("a", {0}),
+       {A(b.atDepths("gamma", {0})), A(b.atDepths("t", {0}))});
+  b.op(OpCode::Mul, b.atDepths("t", {0}),
+       {A(b.atDepths("mean", {0})), A(b.atDepths("a", {0}))});
+  b.op(OpCode::Sub, b.atDepths("bb", {0}),
+       {A(b.atDepths("beta", {0})), A(b.atDepths("t", {0}))});
+  b.endScope();
+  // Main normalization: y = a[c]*x + bb[c].
+  b.beginScope(n);
+  b.beginScope(c);
+  b.beginScope(h);
+  b.beginScope(w);
+  b.op(OpCode::Fma, b.atDepths("y", {0, 1, 2, 3}),
+       {A(b.atDepths("x", {0, 1, 2, 3})), A(b.atDepths("a", {1})),
+        A(b.atDepths("bb", {1}))});
+  b.endScope().endScope().endScope().endScope();
+  return b.finish();
+}
+
+Program makeMatmul(int64_t m, int64_t k, int64_t n) {
+  Builder b("matmul");
+  b.buffer("A", DType::F32, {m, k}).buffer("B", DType::F32, {k, n});
+  b.buffer("Cm", DType::F32, {m, n});
+  b.input("A").input("B").output("Cm");
+  b.beginScope(m);
+  b.beginScope(n);
+  b.op(OpCode::Mov, b.atDepths("Cm", {0, 1}), {C(0.0)});
+  b.beginScope(k);
+  b.op(OpCode::Fma, b.atDepths("Cm", {0, 1}),
+       {A(b.atDepths("A", {0, 2})), A(b.atDepths("B", {2, 1})),
+        A(b.atDepths("Cm", {0, 1}))});
+  b.endScope().endScope().endScope();
+  return b.finish();
+}
+
+Program makeBmm(int64_t bs, int64_t m, int64_t k, int64_t n) {
+  Builder b("bmm");
+  b.buffer("A", DType::F32, {bs, m, k}).buffer("B", DType::F32, {bs, k, n});
+  b.buffer("Cm", DType::F32, {bs, m, n});
+  b.input("A").input("B").output("Cm");
+  b.beginScope(bs);
+  b.beginScope(m);
+  b.beginScope(n);
+  b.op(OpCode::Mov, b.atDepths("Cm", {0, 1, 2}), {C(0.0)});
+  b.beginScope(k);
+  b.op(OpCode::Fma, b.atDepths("Cm", {0, 1, 2}),
+       {A(b.atDepths("A", {0, 1, 3})), A(b.atDepths("B", {0, 3, 2})),
+        A(b.atDepths("Cm", {0, 1, 2}))});
+  b.endScope().endScope().endScope().endScope();
+  return b.finish();
+}
+
+Program makeConv2d(int64_t n, int64_t k, int64_t c, int64_t h, int64_t w,
+                   int64_t r) {
+  require(h >= r && w >= r, "makeConv2d: kernel larger than input");
+  const int64_t oh = h - r + 1;
+  const int64_t ow = w - r + 1;
+  Builder b("conv");
+  b.buffer("x", DType::F32, {n, c, h, w});
+  b.buffer("wgt", DType::F32, {k, c, r, r});
+  b.buffer("y", DType::F32, {n, k, oh, ow});
+  b.input("x").input("wgt").output("y");
+  b.beginScope(n);
+  b.beginScope(k);
+  b.beginScope(oh);
+  b.beginScope(ow);
+  b.op(OpCode::Mov, b.atDepths("y", {0, 1, 2, 3}), {C(0.0)});
+  b.beginScope(c);
+  b.beginScope(r);
+  b.beginScope(r);
+  b.op(OpCode::Fma, b.atDepths("y", {0, 1, 2, 3}),
+       {A(b.at("x", {b.it(0), b.it(4), IndexExpr::add(b.it(2), b.it(5)),
+                     IndexExpr::add(b.it(3), b.it(6))})),
+        A(b.atDepths("wgt", {1, 4, 5, 6})), A(b.atDepths("y", {0, 1, 2, 3}))});
+  for (int i = 0; i < 7; ++i) b.endScope();
+  return b.finish();
+}
+
+Program makeLayerNorm(int64_t n, int64_t d) {
+  Builder b("layernorm");
+  b.buffer("x", DType::F32, {n, d}).buffer("y", DType::F32, {n, d});
+  b.buffer("mu", DType::F32, {n}).buffer("v", DType::F32, {n});
+  b.buffer("dv", DType::F32, {n, d});
+  b.buffer("q", DType::F32, {n, d});
+  b.input("x").output("y");
+  const double inv_d = 1.0 / static_cast<double>(d);
+  b.beginScope(n);
+  b.op(OpCode::Mov, b.atDepths("mu", {0}), {C(0.0)});
+  b.endScope();
+  b.beginScope(n);
+  b.beginScope(d);
+  b.op(OpCode::Add, b.atDepths("mu", {0}),
+       {A(b.atDepths("mu", {0})), A(b.atDepths("x", {0, 1}))});
+  b.endScope().endScope();
+  b.beginScope(n);
+  b.op(OpCode::Mul, b.atDepths("mu", {0}), {A(b.atDepths("mu", {0})), C(inv_d)});
+  b.endScope();
+  b.beginScope(n);
+  b.beginScope(d);
+  b.op(OpCode::Sub, b.atDepths("dv", {0, 1}),
+       {A(b.atDepths("x", {0, 1})), A(b.atDepths("mu", {0}))});
+  b.endScope().endScope();
+  b.beginScope(n);
+  b.beginScope(d);
+  b.op(OpCode::Mul, b.atDepths("q", {0, 1}),
+       {A(b.atDepths("dv", {0, 1})), A(b.atDepths("dv", {0, 1}))});
+  b.endScope().endScope();
+  b.beginScope(n);
+  b.op(OpCode::Mov, b.atDepths("v", {0}), {C(0.0)});
+  b.endScope();
+  b.beginScope(n);
+  b.beginScope(d);
+  b.op(OpCode::Add, b.atDepths("v", {0}),
+       {A(b.atDepths("v", {0})), A(b.atDepths("q", {0, 1}))});
+  b.endScope().endScope();
+  b.beginScope(n);
+  b.op(OpCode::Mul, b.atDepths("v", {0}), {A(b.atDepths("v", {0})), C(inv_d)});
+  b.op(OpCode::Add, b.atDepths("v", {0}), {A(b.atDepths("v", {0})), C(kEps)});
+  b.op(OpCode::Rsqrt, b.atDepths("v", {0}), {A(b.atDepths("v", {0}))});
+  b.endScope();
+  b.beginScope(n);
+  b.beginScope(d);
+  b.op(OpCode::Mul, b.atDepths("y", {0, 1}),
+       {A(b.atDepths("dv", {0, 1})), A(b.atDepths("v", {0}))});
+  b.endScope().endScope();
+  return b.finish();
+}
+
+Program makeReduceMean(int64_t n, int64_t d) {
+  Builder b("reducemean");
+  b.buffer("x", DType::F32, {n, d}).buffer("m", DType::F32, {n});
+  b.input("x").output("m");
+  b.beginScope(n);
+  b.op(OpCode::Mov, b.atDepths("m", {0}), {C(0.0)});
+  b.endScope();
+  b.beginScope(n);
+  b.beginScope(d);
+  b.op(OpCode::Add, b.atDepths("m", {0}),
+       {A(b.atDepths("m", {0})), A(b.atDepths("x", {0, 1}))});
+  b.endScope().endScope();
+  b.beginScope(n);
+  b.op(OpCode::Mul, b.atDepths("m", {0}),
+       {A(b.atDepths("m", {0})), C(1.0 / static_cast<double>(d))});
+  b.endScope();
+  return b.finish();
+}
+
+Program makeReluFfn(int64_t n, int64_t c, int64_t h, int64_t w) {
+  Builder b("relu_ffn");
+  b.buffer("x", DType::F32, {n, c, h, w}).buffer("bias", DType::F32, {c});
+  b.buffer("t", DType::F32, {n, c, h, w});
+  b.buffer("y", DType::F32, {n, c, h, w});
+  b.input("x").input("bias").output("y");
+  b.beginScope(n);
+  b.beginScope(c);
+  b.beginScope(h);
+  b.beginScope(w);
+  b.op(OpCode::Add, b.atDepths("t", {0, 1, 2, 3}),
+       {A(b.atDepths("x", {0, 1, 2, 3})), A(b.atDepths("bias", {1}))});
+  b.endScope().endScope().endScope().endScope();
+  b.beginScope(n);
+  b.beginScope(c);
+  b.beginScope(h);
+  b.beginScope(w);
+  b.op(OpCode::Relu, b.atDepths("y", {0, 1, 2, 3}),
+       {A(b.atDepths("t", {0, 1, 2, 3}))});
+  b.endScope().endScope().endScope().endScope();
+  return b.finish();
+}
+
+Program makeRmsNorm(int64_t n, int64_t d) {
+  Builder b("rmsnorm");
+  b.buffer("x", DType::F32, {n, d}).buffer("y", DType::F32, {n, d});
+  b.buffer("s", DType::F32, {n});
+  b.buffer("q", DType::F32, {n, d});
+  b.input("x").output("y");
+  b.beginScope(n);
+  b.op(OpCode::Mov, b.atDepths("s", {0}), {C(0.0)});
+  b.endScope();
+  b.beginScope(n);
+  b.beginScope(d);
+  b.op(OpCode::Mul, b.atDepths("q", {0, 1}),
+       {A(b.atDepths("x", {0, 1})), A(b.atDepths("x", {0, 1}))});
+  b.endScope().endScope();
+  b.beginScope(n);
+  b.beginScope(d);
+  b.op(OpCode::Add, b.atDepths("s", {0}),
+       {A(b.atDepths("s", {0})), A(b.atDepths("q", {0, 1}))});
+  b.endScope().endScope();
+  b.beginScope(n);
+  b.op(OpCode::Mul, b.atDepths("s", {0}),
+       {A(b.atDepths("s", {0})), C(1.0 / static_cast<double>(d))});
+  b.op(OpCode::Add, b.atDepths("s", {0}), {A(b.atDepths("s", {0})), C(kEps)});
+  b.op(OpCode::Rsqrt, b.atDepths("s", {0}), {A(b.atDepths("s", {0}))});
+  b.endScope();
+  b.beginScope(n);
+  b.beginScope(d);
+  b.op(OpCode::Mul, b.atDepths("y", {0, 1}),
+       {A(b.atDepths("x", {0, 1})), A(b.atDepths("s", {0}))});
+  b.endScope().endScope();
+  return b.finish();
+}
+
+Program makeSoftmax(int64_t n, int64_t m) {
+  Builder b("softmax");
+  b.buffer("x", DType::F32, {n, m}).buffer("y", DType::F32, {n, m});
+  b.buffer("mx", DType::F32, {n}).buffer("l", DType::F32, {n});
+  b.buffer("t", DType::F32, {n, m});
+  b.input("x").output("y");
+  b.beginScope(n);
+  b.op(OpCode::Mov, b.atDepths("mx", {0}), {C(-1.0 / 0.0)});
+  b.endScope();
+  b.beginScope(n);
+  b.beginScope(m);
+  b.op(OpCode::Max, b.atDepths("mx", {0}),
+       {A(b.atDepths("mx", {0})), A(b.atDepths("x", {0, 1}))});
+  b.endScope().endScope();
+  b.beginScope(n);
+  b.beginScope(m);
+  b.op(OpCode::Sub, b.atDepths("t", {0, 1}),
+       {A(b.atDepths("x", {0, 1})), A(b.atDepths("mx", {0}))});
+  b.endScope().endScope();
+  b.beginScope(n);
+  b.beginScope(m);
+  b.op(OpCode::Exp, b.atDepths("t", {0, 1}), {A(b.atDepths("t", {0, 1}))});
+  b.endScope().endScope();
+  b.beginScope(n);
+  b.op(OpCode::Mov, b.atDepths("l", {0}), {C(0.0)});
+  b.endScope();
+  b.beginScope(n);
+  b.beginScope(m);
+  b.op(OpCode::Add, b.atDepths("l", {0}),
+       {A(b.atDepths("l", {0})), A(b.atDepths("t", {0, 1}))});
+  b.endScope().endScope();
+  b.beginScope(n);
+  b.beginScope(m);
+  b.op(OpCode::Div, b.atDepths("y", {0, 1}),
+       {A(b.atDepths("t", {0, 1})), A(b.atDepths("l", {0}))});
+  b.endScope().endScope();
+  return b.finish();
+}
+
+Program makeSwiglu(int64_t s, int64_t d, int64_t f) {
+  Builder b("swiglu");
+  b.buffer("x", DType::F32, {s, d});
+  b.buffer("W1", DType::F32, {d, f}).buffer("W3", DType::F32, {d, f});
+  b.buffer("g", DType::F32, {s, f}).buffer("h", DType::F32, {s, f});
+  b.buffer("sg", DType::F32, {s, f});
+  b.buffer("y", DType::F32, {s, f});
+  b.input("x").input("W1").input("W3").output("y");
+  b.beginScope(s);
+  b.beginScope(f);
+  b.op(OpCode::Mov, b.atDepths("g", {0, 1}), {C(0.0)});
+  b.op(OpCode::Mov, b.atDepths("h", {0, 1}), {C(0.0)});
+  b.beginScope(d);
+  b.op(OpCode::Fma, b.atDepths("g", {0, 1}),
+       {A(b.atDepths("x", {0, 2})), A(b.atDepths("W1", {2, 1})),
+        A(b.atDepths("g", {0, 1}))});
+  b.op(OpCode::Fma, b.atDepths("h", {0, 1}),
+       {A(b.atDepths("x", {0, 2})), A(b.atDepths("W3", {2, 1})),
+        A(b.atDepths("h", {0, 1}))});
+  b.endScope();
+  b.op(OpCode::Sigmoid, b.atDepths("sg", {0, 1}), {A(b.atDepths("g", {0, 1}))});
+  b.op(OpCode::Mul, b.atDepths("sg", {0, 1}),
+       {A(b.atDepths("g", {0, 1})), A(b.atDepths("sg", {0, 1}))});
+  b.op(OpCode::Mul, b.atDepths("y", {0, 1}),
+       {A(b.atDepths("sg", {0, 1})), A(b.atDepths("h", {0, 1}))});
+  b.endScope().endScope();
+  return b.finish();
+}
+
+// --- Snitch micro-kernels ---
+
+Program makeAxpy(int64_t n) {
+  Builder b("axpy");
+  b.buffer("x", DType::F64, {n}).buffer("y0", DType::F64, {n});
+  b.buffer("y", DType::F64, {n});
+  b.input("x").input("y0").output("y");
+  b.beginScope(n);
+  b.op(OpCode::Fma, b.atDepths("y", {0}),
+       {A(b.atDepths("x", {0})), C(2.5), A(b.atDepths("y0", {0}))});
+  b.endScope();
+  return b.finish();
+}
+
+Program makeDot(int64_t n) {
+  Builder b("dot");
+  b.buffer("x", DType::F64, {n}).buffer("y", DType::F64, {n});
+  b.buffer("d", DType::F64, {1});
+  b.input("x").input("y").output("d");
+  b.op(OpCode::Mov, b.at("d", {IndexExpr::constant(0)}), {C(0.0)});
+  b.beginScope(n);
+  b.op(OpCode::Fma, b.at("d", {IndexExpr::constant(0)}),
+       {A(b.atDepths("x", {0})), A(b.atDepths("y", {0})),
+        A(b.at("d", {IndexExpr::constant(0)}))});
+  b.endScope();
+  return b.finish();
+}
+
+Program makeSum(int64_t n) {
+  Builder b("sum");
+  b.buffer("x", DType::F64, {n}).buffer("s", DType::F64, {1});
+  b.input("x").output("s");
+  b.op(OpCode::Mov, b.at("s", {IndexExpr::constant(0)}), {C(0.0)});
+  b.beginScope(n);
+  b.op(OpCode::Add, b.at("s", {IndexExpr::constant(0)}),
+       {A(b.at("s", {IndexExpr::constant(0)})), A(b.atDepths("x", {0}))});
+  b.endScope();
+  return b.finish();
+}
+
+Program makeVecRelu(int64_t n) {
+  Builder b("vrelu");
+  b.buffer("x", DType::F64, {n}).buffer("y", DType::F64, {n});
+  b.input("x").output("y");
+  b.beginScope(n);
+  b.op(OpCode::Relu, b.atDepths("y", {0}), {A(b.atDepths("x", {0}))});
+  b.endScope();
+  return b.finish();
+}
+
+Program makeVecMul(int64_t n) {
+  Builder b("vmul");
+  b.buffer("x", DType::F64, {n}).buffer("w", DType::F64, {n});
+  b.buffer("y", DType::F64, {n});
+  b.input("x").input("w").output("y");
+  b.beginScope(n);
+  b.op(OpCode::Mul, b.atDepths("y", {0}),
+       {A(b.atDepths("x", {0})), A(b.atDepths("w", {0}))});
+  b.endScope();
+  return b.finish();
+}
+
+Program makeGemmSmall(int64_t n) {
+  Program p = makeMatmul(n, n, n);
+  p.name = "gemm";
+  return p;
+}
+
+Program makeConv1d(int64_t n, int64_t r) {
+  require(n >= r, "makeConv1d: kernel larger than input");
+  const int64_t on = n - r + 1;
+  Builder b("conv1d");
+  b.buffer("x", DType::F64, {n}).buffer("w", DType::F64, {r});
+  b.buffer("y", DType::F64, {on});
+  b.input("x").input("w").output("y");
+  b.beginScope(on);
+  b.op(OpCode::Mov, b.atDepths("y", {0}), {C(0.0)});
+  b.beginScope(r);
+  b.op(OpCode::Fma, b.atDepths("y", {0}),
+       {A(b.at("x", {IndexExpr::add(b.it(0), b.it(1))})),
+        A(b.atDepths("w", {1})), A(b.atDepths("y", {0}))});
+  b.endScope().endScope();
+  return b.finish();
+}
+
+Program makeNorm2(int64_t n) {
+  Builder b("norm2");
+  b.buffer("x", DType::F64, {n}).buffer("s", DType::F64, {1});
+  b.input("x").output("s");
+  b.op(OpCode::Mov, b.at("s", {IndexExpr::constant(0)}), {C(0.0)});
+  b.beginScope(n);
+  b.op(OpCode::Fma, b.at("s", {IndexExpr::constant(0)}),
+       {A(b.atDepths("x", {0})), A(b.atDepths("x", {0})),
+        A(b.at("s", {IndexExpr::constant(0)}))});
+  b.endScope();
+  b.op(OpCode::Sqrt, b.at("s", {IndexExpr::constant(0)}),
+       {A(b.at("s", {IndexExpr::constant(0)}))});
+  return b.finish();
+}
+
+// --- Catalogs ---
+
+const std::vector<KernelInfo>& table3() {
+  static const std::vector<KernelInfo> t3 = {
+      {"add", "Elementwise addition", "3072x4096",
+       [] { return makeAdd(3072, 4096); }, [] { return makeAdd(8, 16); }},
+      {"batchnorm_1", "Batch Normalization", "8x3x2048x2048",
+       [] { return makeBatchNorm(8, 3, 2048, 2048); },
+       [] { return makeBatchNorm(2, 3, 4, 4); }},
+      {"batchnorm_2", "Batch Normalization", "8x64x300x300",
+       [] { return makeBatchNorm(8, 64, 300, 300); },
+       [] { return makeBatchNorm(2, 4, 6, 6); }},
+      {"bmm", "Batched Matrix Multiplication", "192x256x128x256",
+       [] { return makeBmm(192, 256, 128, 256); },
+       [] { return makeBmm(2, 3, 4, 5); }},
+      {"conv_1", "2D Convolution", "8x10x3x512x512x5",
+       [] { return makeConv2d(8, 10, 3, 512, 512, 5); },
+       [] { return makeConv2d(1, 2, 2, 8, 8, 3); }},
+      {"conv_2", "2D convolution", "8x64x64x56x56x3",
+       [] { return makeConv2d(8, 64, 64, 56, 56, 3); },
+       [] { return makeConv2d(1, 3, 2, 6, 6, 3); }},
+      {"layernorm_1", "Layer Normalization", "16384x1024",
+       [] { return makeLayerNorm(16384, 1024); },
+       [] { return makeLayerNorm(4, 8); }},
+      {"layernorm_2", "Layer Normalization", "4096x4096",
+       [] { return makeLayerNorm(4096, 4096); },
+       [] { return makeLayerNorm(6, 10); }},
+      {"matmul", "Matrix Multiplication", "768x1024x1024",
+       [] { return makeMatmul(768, 1024, 1024); },
+       [] { return makeMatmul(4, 6, 8); }},
+      {"mul", "Elementwise multiplication", "6x14336",
+       [] { return makeMul(6, 14336); }, [] { return makeMul(4, 12); }},
+      {"reducemean", "Average along axis", "4096x4096",
+       [] { return makeReduceMean(4096, 4096); },
+       [] { return makeReduceMean(6, 12); }},
+      {"relu", "Rectified Linear Unit (ReLU)", "4096x4096",
+       [] { return makeRelu(4096, 4096); }, [] { return makeRelu(8, 8); }},
+      {"relu_ffn", "ReLU+FeedForward Network", "8x64x112x112",
+       [] { return makeReluFfn(8, 64, 112, 112); },
+       [] { return makeReluFfn(2, 3, 4, 4); }},
+      {"rmsnorm", "Root Mean Square Normalization", "3072x4096",
+       [] { return makeRmsNorm(3072, 4096); },
+       [] { return makeRmsNorm(5, 9); }},
+      {"softmax", "Softmax", "24576x512",
+       [] { return makeSoftmax(24576, 512); },
+       [] { return makeSoftmax(4, 8); }},
+      {"swiglu", "SwiGLU activation function", "1x256x4096x448",
+       [] { return makeSwiglu(256, 4096, 448); },
+       [] { return makeSwiglu(3, 5, 4); }},
+  };
+  return t3;
+}
+
+const std::vector<KernelInfo>& snitchMicro() {
+  static const std::vector<KernelInfo> micro = {
+      {"axpy", "y = a*x + y", "1024", [] { return makeAxpy(1024); },
+       [] { return makeAxpy(16); }},
+      {"dot", "dot product", "1024", [] { return makeDot(1024); },
+       [] { return makeDot(16); }},
+      {"sum", "vector sum reduction", "1024", [] { return makeSum(1024); },
+       [] { return makeSum(16); }},
+      {"vrelu", "vector ReLU", "1024", [] { return makeVecRelu(1024); },
+       [] { return makeVecRelu(16); }},
+      {"vmul", "elementwise multiply", "1024", [] { return makeVecMul(1024); },
+       [] { return makeVecMul(16); }},
+      {"gemm", "small dense GEMM", "32x32x32",
+       [] { return makeGemmSmall(32); }, [] { return makeGemmSmall(4); }},
+      {"conv1d", "1D convolution", "1024x5",
+       [] { return makeConv1d(1024, 5); }, [] { return makeConv1d(16, 3); }},
+      {"norm2", "L2 norm", "1024", [] { return makeNorm2(1024); },
+       [] { return makeNorm2(16); }},
+      {"softmax8", "row softmax", "8x256", [] { return makeSoftmax(8, 256); },
+       [] { return makeSoftmax(2, 8); }},
+      {"rmsnorm8", "RMS normalization", "8x256",
+       [] { return makeRmsNorm(8, 256); }, [] { return makeRmsNorm(2, 8); }},
+  };
+  return micro;
+}
+
+const std::vector<KernelInfo>& x86Uncommon() {
+  // Figure 10 evaluates sizes that do not come from any existing model, where
+  // library kernels are less tuned (non-power-of-two, skewed aspect ratios).
+  static const std::vector<KernelInfo> unc = {
+      {"add_u", "Elementwise addition", "1000x1217",
+       [] { return makeAdd(1000, 1217); }, [] { return makeAdd(8, 16); }},
+      {"matmul_u", "Matrix Multiplication", "636x1024x512",
+       [] { return makeMatmul(636, 1024, 512); },
+       [] { return makeMatmul(4, 6, 8); }},
+      {"softmax_u", "Softmax", "1000x292",
+       [] { return makeSoftmax(1000, 292); }, [] { return makeSoftmax(4, 8); }},
+      {"layernorm_u", "Layer Normalization", "1111x768",
+       [] { return makeLayerNorm(1111, 768); },
+       [] { return makeLayerNorm(4, 8); }},
+      {"reducemean_u", "Average along axis", "999x2222",
+       [] { return makeReduceMean(999, 2222); },
+       [] { return makeReduceMean(6, 12); }},
+      {"mul_u", "Elementwise multiplication", "7x9999",
+       [] { return makeMul(7, 9999); }, [] { return makeMul(4, 12); }},
+      {"rmsnorm_u", "RMS Normalization", "1217x1000",
+       [] { return makeRmsNorm(1217, 1000); }, [] { return makeRmsNorm(5, 9); }},
+      {"conv_u", "2D Convolution", "4x7x3x100x100x5",
+       [] { return makeConv2d(4, 7, 3, 100, 100, 5); },
+       [] { return makeConv2d(1, 2, 2, 8, 8, 3); }},
+  };
+  return unc;
+}
+
+const KernelInfo* findKernel(const std::string& label) {
+  for (const auto* cat : {&table3(), &snitchMicro(), &x86Uncommon()})
+    for (const auto& k : *cat)
+      if (k.label == label) return &k;
+  return nullptr;
+}
+
+}  // namespace perfdojo::kernels

@@ -1,0 +1,93 @@
+// Kernel library: IR builders for every ML operator of the paper's Table 3,
+// the Snitch micro-kernels of Section 4.1, and the uncommon-shape variants of
+// Figure 10. Builders produce the *unscheduled* (naive loop-nest) program;
+// all optimization happens through transformations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace perfdojo::kernels {
+
+using ir::Program;
+using std::int64_t;
+
+// --- Individual builders (shapes are parameters so tests can shrink them) ---
+
+/// z[n,m] = x[n,m] + y[n,m]
+Program makeAdd(int64_t n, int64_t m);
+/// z[n,m] = x[n,m] * y[n,m]
+Program makeMul(int64_t n, int64_t m);
+/// y[n,m] = relu(x[n,m])
+Program makeRelu(int64_t n, int64_t m);
+/// Inference batch normalization over x[N,C,H,W]: per-channel coefficients
+/// a,b are derived from gamma/beta/mean/var on the host side, then
+/// y = a[c]*x + b[c].
+Program makeBatchNorm(int64_t n, int64_t c, int64_t h, int64_t w);
+/// C[m,n] = sum_k A[m,k] * B[k,n]
+Program makeMatmul(int64_t m, int64_t k, int64_t n);
+/// C[b,m,n] = sum_k A[b,m,k] * B[b,k,n]
+Program makeBmm(int64_t b, int64_t m, int64_t k, int64_t n);
+/// Direct 2D convolution, stride 1, valid padding:
+/// y[n,k,oh,ow] = sum_{c,r,s} x[n,c,oh+r,ow+s] * w[k,c,r,s]
+Program makeConv2d(int64_t n, int64_t k, int64_t c, int64_t h, int64_t w,
+                   int64_t r);
+/// y[n,d] = (x - mean_d(x)) * rsqrt(var_d(x) + eps)
+Program makeLayerNorm(int64_t n, int64_t d);
+/// m[n] = mean_d x[n,d]
+Program makeReduceMean(int64_t n, int64_t d);
+/// Bias + ReLU epilogue of a feed-forward block: y = relu(x + bias[c])
+/// (the paper's "ReLU+FeedForward Network" operator at 8x64x112x112).
+Program makeReluFfn(int64_t n, int64_t c, int64_t h, int64_t w);
+/// y[n,d] = x * rsqrt(mean_d(x^2) + eps)
+Program makeRmsNorm(int64_t n, int64_t d);
+/// Row softmax over x[n,m] (the running example of Figures 3-5).
+Program makeSoftmax(int64_t n, int64_t m);
+/// SwiGLU: y[s,f] = silu(x@W1)[s,f] * (x@W3)[s,f] with x[s,d], W*[d,f].
+Program makeSwiglu(int64_t s, int64_t d, int64_t f);
+
+// --- Snitch micro-kernels (Section 4.1) ---
+
+/// y[i] = a*x[i] + y0[i]
+Program makeAxpy(int64_t n);
+/// d = sum_i x[i]*y[i]
+Program makeDot(int64_t n);
+/// s = sum_i x[i]
+Program makeSum(int64_t n);
+/// y[i] = max(x[i], 0) over a vector
+Program makeVecRelu(int64_t n);
+/// y[i] = x[i] * w[i]
+Program makeVecMul(int64_t n);
+/// GEMM on small square tiles.
+Program makeGemmSmall(int64_t n);
+/// 1D convolution y[i] = sum_r x[i+r]*w[r]
+Program makeConv1d(int64_t n, int64_t r);
+/// L2 norm: s = sqrt(sum x^2)
+Program makeNorm2(int64_t n);
+
+// --- Catalogs ---
+
+struct KernelInfo {
+  std::string label;              // e.g. "softmax"
+  std::string description;        // Table 3 description
+  std::string shape;              // e.g. "24576x512"
+  std::function<Program()> build;        // paper-size program
+  std::function<Program()> build_small;  // shrunk shape for interpreter tests
+};
+
+/// The 16 operators of Table 3 with the paper's input shapes.
+const std::vector<KernelInfo>& table3();
+
+/// Micro-kernels evaluated on the Snitch target (Figures 7-9).
+const std::vector<KernelInfo>& snitchMicro();
+
+/// Uncommon-size kernels of Figure 10 (sizes not derived from any model).
+const std::vector<KernelInfo>& x86Uncommon();
+
+const KernelInfo* findKernel(const std::string& label);
+
+}  // namespace perfdojo::kernels

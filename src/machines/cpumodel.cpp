@@ -1,0 +1,176 @@
+#include "machines/cpumodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/walk.h"
+#include "support/common.h"
+
+namespace perfdojo::machines {
+
+using ir::Buffer;
+using ir::LoopAnno;
+using ir::Node;
+using ir::Operand;
+using ir::Program;
+
+CpuConfig xeonConfig() { return {}; }
+
+namespace {
+
+struct Acc {
+  double scalar_ops = 0;   // op issues outside :v (per whole program)
+  double vector_ops = 0;   // op issues inside :v, already divided by width
+  double vector_flops = 0; // flops executed vectorized (for reporting)
+  double flops = 0;
+  double loop_iters = 0;   // iterations of non-unrolled, non-vector scopes
+  double eff_bytes = 0;
+  double parallel_regions = 0;
+  double parallel_extent = 0;  // extent of the outermost :p scope (max)
+};
+
+class CpuAnalyzer {
+ public:
+  CpuAnalyzer(const Program& p, const CpuConfig& cfg) : p_(p), cfg_(cfg) {}
+
+  Acc run() {
+    walk(p_.root, 1.0, 1, false);
+    return acc_;
+  }
+
+ private:
+  double cacheFactor(const Buffer& b) const {
+    const auto bytes = static_cast<double>(b.bytes());
+    if (b.space == ir::MemSpace::Register) return 0.0;
+    if (b.space == ir::MemSpace::Stack || bytes <= cfg_.l1_bytes) return 0.02;
+    if (bytes <= cfg_.l2_bytes) return 0.05;
+    if (bytes <= cfg_.llc_bytes) return 0.3;
+    return 1.0;
+  }
+
+  void walk(const Node& n, double mult, int vec_width, bool unrolled) {
+    if (n.isOp()) {
+      const double issues = mult / vec_width;
+      if (vec_width > 1) {
+        acc_.vector_ops += issues;
+        if (n.op != ir::OpCode::Mov)
+          acc_.vector_flops += mult * ((n.op == ir::OpCode::Fma) ? 2.0 : 1.0);
+      } else {
+        acc_.scalar_ops += issues;
+      }
+      if (n.op != ir::OpCode::Mov)
+        acc_.flops += mult * ((n.op == ir::OpCode::Fma) ? 2.0 : 1.0);
+      auto chargeAccess = [&](const ir::Access& a) {
+        const Buffer* b = p_.bufferOfArray(a.array);
+        require(b != nullptr, "cpumodel: unknown array");
+        acc_.eff_bytes += mult * ir::dtypeBytes(b->dtype) * cacheFactor(*b);
+      };
+      chargeAccess(n.out);
+      for (const auto& in : n.ins)
+        if (in.kind == Operand::Kind::Array) chargeAccess(in.access);
+      return;
+    }
+    double m = mult;
+    int vw = vec_width;
+    bool unr = unrolled;
+    if (n.id != p_.root.id) {
+      m *= static_cast<double>(n.extent);
+      switch (n.anno) {
+        case LoopAnno::Vector:
+          vw = static_cast<int>(n.extent);
+          break;
+        case LoopAnno::Unroll:
+          unr = true;
+          break;
+        case LoopAnno::Parallel:
+          acc_.parallel_regions += mult;  // one fork/join per entry
+          acc_.parallel_extent =
+              std::max(acc_.parallel_extent, static_cast<double>(n.extent));
+          break;
+        default:
+          if (!unr && vw == 1) acc_.loop_iters += m;  // branch + index update
+          break;
+      }
+    }
+    for (const auto& c : n.children) walk(c, m, vw, unr);
+  }
+
+  const Program& p_;
+  const CpuConfig& cfg_;
+  Acc acc_;
+};
+
+class CpuMachine final : public Machine {
+ public:
+  explicit CpuMachine(CpuConfig cfg) : cfg_(std::move(cfg)) {
+    caps_.name = cfg_.name;
+    caps_.has_parallel = true;
+    caps_.is_gpu = false;
+    caps_.vector_widths = {8, 16};  // 256-/512-bit f32 lanes
+    caps_.max_unroll = 16;
+    caps_.split_factors = {2, 4, 8, 16, 32, 64, 128};
+  }
+
+  const std::string& name() const override { return cfg_.name; }
+  const transform::MachineCaps& caps() const override { return caps_; }
+
+  double evaluate(const Program& p) const override {
+    return cpuAnalyze(p, cfg_).time;
+  }
+
+  double peakTime(const Program& p) const override {
+    double bytes = 0;
+    for (const auto& b : p.buffers) {
+      bool external = false;
+      for (const auto& a : b.arrays)
+        if (p.isExternal(a)) external = true;
+      if (external) bytes += static_cast<double>(b.bytes());
+    }
+    const double t_mem = bytes / cfg_.mem_bw;
+    const double t_comp = static_cast<double>(p.flopCount()) /
+                          (cfg_.cores * cfg_.freq * 16 * cfg_.fma_per_cycle);
+    return std::max(t_mem, t_comp);
+  }
+
+ private:
+  CpuConfig cfg_;
+  transform::MachineCaps caps_;
+};
+
+}  // namespace
+
+CpuReport cpuAnalyze(const Program& p, const CpuConfig& cfg) {
+  CpuAnalyzer a(p, cfg);
+  const Acc acc = a.run();
+  CpuReport r;
+  r.cores_used =
+      acc.parallel_extent > 0
+          ? std::min<double>(cfg.cores, acc.parallel_extent)
+          : 1.0;
+  // Issue-limited compute: one scalar op per cycle, one vector op per cycle,
+  // one loop-control uop per non-unrolled iteration (shares ports).
+  const double cycles = acc.scalar_ops + acc.vector_ops + 0.5 * acc.loop_iters;
+  r.compute_time = cycles / (cfg.freq * r.cores_used);
+  r.mem_time = acc.eff_bytes / cfg.mem_bw;
+  r.overhead_time =
+      acc.parallel_regions * cfg.parallel_overhead + cfg.call_overhead;
+  r.time = std::max(r.compute_time, r.mem_time) + r.overhead_time;
+  r.eff_bytes = acc.eff_bytes;
+  r.vec_fraction = acc.flops > 0 ? acc.vector_flops / acc.flops : 0.0;
+  return r;
+}
+
+const Machine& xeon() {
+  static const CpuMachine m(xeonConfig());
+  return m;
+}
+
+const Machine* findMachine(const std::string& name) {
+  for (const Machine* m :
+       {&snitch(), &xeon(), &gh200(), &mi300a()}) {
+    if (m->name() == name) return m;
+  }
+  return nullptr;
+}
+
+}  // namespace perfdojo::machines

@@ -1,0 +1,42 @@
+// Roofline-style cost model of a multicore x86 server CPU (Xeon E5-2695 v4
+// class). Stands in for the paper's 18-core x86 measurements.
+//
+// Priced mechanisms: vector lanes (:v), multicore (:p), per-iteration loop
+// overhead (removed by :u), cache-resident buffer traffic, parallel-region
+// fork/join overhead.
+#pragma once
+
+#include <string>
+
+#include "machines/machine.h"
+
+namespace perfdojo::machines {
+
+struct CpuConfig {
+  std::string name = "xeon";
+  int cores = 18;
+  double freq = 2.1e9;          // Hz
+  double fma_per_cycle = 2.0;   // FP pipes per core
+  double mem_bw = 76.8e9;       // B/s socket
+  double l1_bytes = 32 * 1024;  // per core
+  double l2_bytes = 256 * 1024;
+  double llc_bytes = 45.0 * 1024 * 1024;
+  double parallel_overhead = 5e-6;  // fork/join per parallel region
+  double call_overhead = 1e-7;
+};
+
+CpuConfig xeonConfig();
+
+struct CpuReport {
+  double time = 0;
+  double compute_time = 0;
+  double mem_time = 0;
+  double overhead_time = 0;
+  double cores_used = 1;
+  double eff_bytes = 0;
+  double vec_fraction = 0;  // fraction of flops executed in vector lanes
+};
+
+CpuReport cpuAnalyze(const ir::Program& p, const CpuConfig& cfg);
+
+}  // namespace perfdojo::machines

@@ -1,0 +1,249 @@
+#include "machines/gpusim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/walk.h"
+#include "support/common.h"
+
+namespace perfdojo::machines {
+
+using ir::Buffer;
+using ir::LoopAnno;
+using ir::Node;
+using ir::Operand;
+using ir::Program;
+
+GpuConfig gh200Config() {
+  GpuConfig c;
+  c.name = "gh200";
+  c.warp_size = 32;
+  c.mem_bw = 4.0e12;
+  c.flops_peak = 60e12;
+  c.sms = 132;
+  c.threads_per_sm = 2048;
+  c.launch_overhead = 8e-6;
+  return c;
+}
+
+GpuConfig mi300aConfig() {
+  GpuConfig c;
+  c.name = "mi300a";
+  c.warp_size = 64;
+  c.mem_bw = 5.3e12;
+  c.flops_peak = 120e12;
+  c.sms = 228;
+  c.threads_per_sm = 2048;
+  c.launch_overhead = 10e-6;
+  return c;
+}
+
+namespace {
+
+struct KernelStats {
+  double blocks = 1;          // product of :g extents
+  double block_threads = 1;   // product of :b and :w extents
+  double per_thread_flops = 0;
+  double per_thread_eff_bytes = 0;  // efficiency-scaled HBM traffic
+  double per_thread_instrs = 0;
+};
+
+class GpuAnalyzer {
+ public:
+  GpuAnalyzer(const Program& p, const GpuConfig& cfg) : p_(p), cfg_(cfg) {}
+
+  GpuReport run() {
+    walkHost(p_.root, 1.0);
+    GpuReport r;
+    r.host_ops = static_cast<std::int64_t>(host_ops_);
+    r.host_bytes = host_bytes_;
+    // Unmapped code runs single-threaded on the host CPU: instruction
+    // throughput plus streaming traffic for cache-missing buffers (fusion
+    // and buffer reuse therefore help even before any GPU mapping).
+    r.host_time = host_ops_ / cfg_.host_op_rate + host_bytes_ / cfg_.host_bw;
+    r.kernels = static_cast<int>(kernels_.size());
+    for (const auto& [launches, k] : kernels_) {
+      const double pad_block =
+          std::ceil(k.block_threads / cfg_.warp_size) * cfg_.warp_size;
+      const double pad_factor =
+          k.block_threads > 0 ? pad_block / k.block_threads : 1.0;
+      const double total_threads = k.blocks * pad_block;
+      const double flops = k.per_thread_flops * k.blocks * k.block_threads * pad_factor;
+      const double bytes = k.per_thread_eff_bytes * k.blocks * k.block_threads * pad_factor;
+      const double concurrent =
+          static_cast<double>(cfg_.sms) * cfg_.threads_per_sm;
+      const double util = std::min(1.0, total_threads / concurrent);
+      const double t_mem = bytes / cfg_.mem_bw;
+      const double t_comp = flops / cfg_.flops_peak;
+      // Latency floor: a single thread retires ~1 op per 4 ns when the
+      // device is underfilled (no other warps to hide latency behind).
+      const double t_lat = k.per_thread_instrs * 4e-9;
+      const double t = std::max({t_mem / std::max(util, 1e-3),
+                                 t_comp / std::max(util, 1e-3), t_lat}) +
+                       cfg_.kernel_fixed;
+      r.kernel_time += launches * (t + cfg_.launch_overhead);
+      r.mem_time += launches * t_mem;
+      r.compute_time += launches * t_comp;
+      r.eff_bytes += launches * bytes;
+      r.device_flops += static_cast<std::int64_t>(launches * flops);
+      r.pad_factor = pad_factor;
+      r.block_threads = k.block_threads;
+    }
+    return r;
+  }
+
+ private:
+  /// Host-level walk: plain scopes multiply; a :g scope becomes a kernel.
+  void walkHost(const Node& n, double mult) {
+    if (n.isOp()) {
+      host_ops_ += mult;
+      auto charge = [&](const ir::Access& a) {
+        const Buffer* b = p_.bufferOfArray(a.array);
+        require(b != nullptr, "gpusim: unknown array");
+        if (b->space != ir::MemSpace::Heap) return;  // stack/register: cached
+        const double factor =
+            static_cast<double>(b->bytes()) < (1 << 20) ? 0.05 : 1.0;
+        host_bytes_ += mult * ir::dtypeBytes(b->dtype) * factor;
+      };
+      charge(n.out);
+      for (const auto& in : n.ins)
+        if (in.kind == Operand::Kind::Array) charge(in.access);
+      return;
+    }
+    if (n.anno == LoopAnno::GpuGrid) {
+      KernelStats k;
+      k.blocks = static_cast<double>(n.extent);
+      walkKernel(n, /*seq_mult=*/1.0, /*vector_width=*/1, k, /*top=*/true);
+      kernels_.emplace_back(mult, k);
+      return;
+    }
+    const double m = n.id == p_.root.id ? mult : mult * static_cast<double>(n.extent);
+    for (const auto& c : n.children) walkHost(c, m);
+  }
+
+  void walkKernel(const Node& n, double seq_mult, int vector_width,
+                  KernelStats& k, bool top) {
+    if (n.isOp()) {
+      opCost(n, seq_mult, vector_width, k);
+      return;
+    }
+    double m = seq_mult;
+    int vw = vector_width;
+    if (!top) {
+      switch (n.anno) {
+        case LoopAnno::GpuGrid:
+          k.blocks *= static_cast<double>(n.extent);
+          break;
+        case LoopAnno::GpuBlock:
+        case LoopAnno::GpuWarp:
+          k.block_threads *= static_cast<double>(n.extent);
+          break;
+        case LoopAnno::Vector:
+          vw = static_cast<int>(n.extent);
+          m *= static_cast<double>(n.extent);
+          break;
+        default:
+          m *= static_cast<double>(n.extent);
+          break;
+      }
+    }
+    for (const auto& c : n.children) walkKernel(c, m, vw, k, false);
+  }
+
+  void opCost(const Node& op, double mult, int vector_width, KernelStats& k) {
+    // Instruction count: vectorized lanes retire together.
+    k.per_thread_instrs += mult / std::max(vector_width, 1);
+    if (op.op != ir::OpCode::Mov)
+      k.per_thread_flops += mult * ((op.op == ir::OpCode::Fma) ? 2.0 : 1.0);
+    auto accessBytes = [&](const ir::Access& a) {
+      const Buffer* b = p_.bufferOfArray(a.array);
+      require(b != nullptr, "gpusim: unknown array");
+      if (b->space == ir::MemSpace::Register || b->space == ir::MemSpace::Stack ||
+          b->space == ir::MemSpace::Shared)
+        return 0.0;  // on-chip
+      const double bytes = mult * ir::dtypeBytes(b->dtype);
+      // Vector-load width sets access efficiency: 128-bit (vec4 f32) moves
+      // at full bandwidth; narrower accesses waste transaction capacity.
+      double eff;
+      const int bits = vector_width * ir::dtypeBytes(b->dtype) * 8;
+      if (bits >= 128) eff = 1.0;
+      else if (bits >= 64) eff = 0.8;
+      else eff = cfg_.scalar_load_eff;
+      double traffic = bytes / eff;
+      // Small buffers (broadcast coefficients etc.) live in L2 after first
+      // touch; charge a fraction of their nominal traffic.
+      if (static_cast<double>(b->bytes()) < (1 << 20))
+        traffic *= cfg_.cached_small_factor;
+      return traffic;
+    };
+    k.per_thread_eff_bytes += accessBytes(op.out);
+    for (const auto& in : op.ins)
+      if (in.kind == Operand::Kind::Array)
+        k.per_thread_eff_bytes += accessBytes(in.access);
+  }
+
+  const Program& p_;
+  const GpuConfig& cfg_;
+  double host_ops_ = 0;
+  double host_bytes_ = 0;
+  std::vector<std::pair<double, KernelStats>> kernels_;
+};
+
+class GpuMachine final : public Machine {
+ public:
+  explicit GpuMachine(GpuConfig cfg) : cfg_(std::move(cfg)) {
+    caps_.name = cfg_.name;
+    caps_.is_gpu = true;
+    caps_.has_parallel = false;  // :p is the CPU annotation
+    caps_.warp_size = cfg_.warp_size;
+    caps_.max_block_threads = 1024;
+    caps_.vector_widths = {2, 4};  // 64-/128-bit loads of f32
+    caps_.split_factors = {2, 4, 8, 16, 32, 64, 128, 256};
+  }
+
+  const std::string& name() const override { return cfg_.name; }
+  const transform::MachineCaps& caps() const override { return caps_; }
+
+  double evaluate(const Program& p) const override {
+    GpuAnalyzer a(p, cfg_);
+    return a.run().total();
+  }
+
+  double peakTime(const Program& p) const override {
+    // Bandwidth-bound ideal: every external element moved exactly once at
+    // full bandwidth, compute at peak; no launch overhead.
+    double bytes = 0;
+    for (const auto& b : p.buffers) {
+      bool external = false;
+      for (const auto& a : b.arrays)
+        if (p.isExternal(a)) external = true;
+      if (external) bytes += static_cast<double>(b.bytes());
+    }
+    const double t_mem = bytes / cfg_.mem_bw;
+    const double t_comp = static_cast<double>(p.flopCount()) / cfg_.flops_peak;
+    return std::max(t_mem, t_comp);
+  }
+
+ private:
+  GpuConfig cfg_;
+  transform::MachineCaps caps_;
+};
+
+}  // namespace
+
+GpuReport gpuAnalyze(const Program& p, const GpuConfig& cfg) {
+  GpuAnalyzer a(p, cfg);
+  return a.run();
+}
+
+const Machine& gh200() {
+  static const GpuMachine m(gh200Config());
+  return m;
+}
+
+const Machine& mi300a() {
+  static const GpuMachine m(mi300aConfig());
+  return m;
+}
+
+}  // namespace perfdojo::machines

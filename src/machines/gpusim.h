@@ -1,0 +1,60 @@
+// Analytic SIMT performance model for GPU-mapped programs. Stands in for the
+// paper's GH200 / MI300A measurements (see DESIGN.md substitutions).
+//
+// Priced mechanisms:
+//  * grid/block/warp mapping read from the :g/:b/:w annotations; scopes left
+//    unannotated inside a kernel run sequentially per thread;
+//  * block padding to the warp/wavefront size (a block of 300 on a 64-lane
+//    machine costs 5 wavefronts = 320 lanes, the paper's batchnorm example);
+//  * memory-bandwidth roofline with per-access efficiency depending on the
+//    vector-load width (32/64/128-bit) and coalescing;
+//  * kernel-launch overhead per launch and host-side scalar execution for
+//    every op outside a :g scope (ops with no GPU mapping run on the host);
+//  * occupancy: kernels with too few threads to fill the device pay a
+//    latency-boundedness penalty.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machines/machine.h"
+
+namespace perfdojo::machines {
+
+struct GpuConfig {
+  std::string name;
+  int warp_size = 32;
+  double mem_bw = 4.0e12;        // B/s
+  double flops_peak = 60e12;     // FLOP/s (FP32, non-tensor-core)
+  int sms = 132;
+  int threads_per_sm = 2048;
+  double launch_overhead = 8e-6;  // s per kernel launch
+  double kernel_fixed = 3e-6;     // s tail/setup per kernel
+  double host_op_rate = 3e9;      // scalar host ops per second
+  double host_bw = 20e9;          // single-thread host streaming bandwidth
+  double scalar_load_eff = 0.55;  // coalesced 32-bit access efficiency
+  double uncoalesced_eff = 0.08;  // strided/other access efficiency
+  double cached_small_factor = 0.05;  // traffic factor for <1 MiB buffers
+};
+
+GpuConfig gh200Config();
+GpuConfig mi300aConfig();
+
+struct GpuReport {
+  int kernels = 0;
+  double host_time = 0;
+  double host_bytes = 0;
+  double kernel_time = 0;
+  double mem_time = 0;
+  double compute_time = 0;
+  double eff_bytes = 0;
+  std::int64_t device_flops = 0;
+  std::int64_t host_ops = 0;
+  double pad_factor = 1.0;   // of the last kernel
+  double block_threads = 0;  // of the last kernel
+  double total() const { return host_time + kernel_time; }
+};
+
+GpuReport gpuAnalyze(const ir::Program& p, const GpuConfig& cfg);
+
+}  // namespace perfdojo::machines

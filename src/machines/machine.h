@@ -1,0 +1,58 @@
+// Machine models: the performance oracles of the PerfDojo game.
+//
+// Substitution note (see DESIGN.md): the paper measures on real Snitch RTL,
+// a Xeon E5-2695 v4, an NVIDIA GH200 and an AMD MI300A. Here each target is a
+// deterministic analytic model that prices exactly the mechanisms the paper's
+// results hinge on (pipeline latency & SSR/FREP on Snitch; coalescing,
+// vector-load width, block padding and launch overhead on GPUs; vector lanes,
+// cores and memory traffic on x86). Schedules are compared under the same
+// model on both sides of every comparison, so rankings and rough factors are
+// preserved even though absolute times are synthetic.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/program.h"
+#include "transform/transform.h"
+
+namespace perfdojo::machines {
+
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Capabilities handed to the transformation library — the only channel
+  /// through which search methods learn about the hardware.
+  virtual const transform::MachineCaps& caps() const = 0;
+
+  /// Modeled runtime in seconds for one execution of the program.
+  virtual double evaluate(const ir::Program& p) const = 0;
+
+  /// Runtime of a perfect implementation (used for %-of-peak reporting).
+  virtual double peakTime(const ir::Program& p) const = 0;
+
+  double peakFraction(const ir::Program& p) const {
+    const double t = evaluate(p);
+    return t > 0 ? peakTime(p) / t : 0.0;
+  }
+};
+
+/// Snitch RISC-V cluster core: single-issue, pseudo dual-issue FP/int
+/// streams, 4-cycle FPU latency, SSR + FREP extensions. 1 GHz.
+const Machine& snitch();
+
+/// 18-core Intel Xeon E5-2695 v4-like CPU with 256/512-bit vectors.
+const Machine& xeon();
+
+/// NVIDIA GH200-like GPU (warp 32).
+const Machine& gh200();
+
+/// AMD MI300A-like GPU (wavefront 64).
+const Machine& mi300a();
+
+const Machine* findMachine(const std::string& name);
+
+}  // namespace perfdojo::machines

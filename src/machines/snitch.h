@@ -1,0 +1,32 @@
+// Cycle-level model of a Snitch core (Zaruba et al., IEEE TC 2020) with the
+// SSR (stream semantic register) and FREP (floating-point repetition) ISA
+// extensions. Stands in for the paper's Verilator RTL simulation.
+//
+// Mechanisms modeled (the ones the paper's Section 4.1 results rest on):
+//  * pseudo dual-issue: the integer pipeline (loads/stores/loop control) and
+//    the FPU run concurrently; region runtime is max(int_cycles, fp_cycles);
+//  * 4-cycle FPU latency: an accumulation whose dependence is carried by the
+//    innermost repetition loop stalls to 4 cycles/iteration unless unrolling
+//    interleaves >= 4 independent chains (the heuristic pass's tile-by-4);
+//  * SSR: array operands of a streamed loop cost zero integer instructions;
+//  * FREP: zero loop-control overhead for the repeated FP instruction block.
+#pragma once
+
+#include <cstdint>
+
+#include "machines/machine.h"
+
+namespace perfdojo::machines {
+
+struct SnitchReport {
+  double cycles = 0;
+  double int_cycles = 0;  // integer/load-store stream
+  double fp_cycles = 0;   // FPU stream incl. dependency stalls
+  std::int64_t flops = 0;
+  double peak_fraction = 0;
+};
+
+/// Detailed per-program report (used by the Figure 7/8 benches).
+SnitchReport snitchAnalyze(const ir::Program& p);
+
+}  // namespace perfdojo::machines

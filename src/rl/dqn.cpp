@@ -1,0 +1,83 @@
+#include "rl/dqn.h"
+
+#include <algorithm>
+
+#include "support/common.h"
+
+namespace perfdojo::rl {
+
+DqnAgent::DqnAgent(const DqnConfig& cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      online_(cfg.input_dim, cfg.hidden, rng_, cfg.use_dueling),
+      target_(cfg.input_dim, cfg.hidden, rng_, cfg.use_dueling),
+      replay_(cfg.replay_capacity) {
+  target_.copyWeightsFrom(online_);
+}
+
+double DqnAgent::qValue(const Vec& x) { return online_.forward(x); }
+
+std::size_t DqnAgent::selectAction(const std::vector<Vec>& candidates,
+                                   double epsilon, Rng& rng) {
+  require(!candidates.empty(), "DqnAgent::selectAction: no candidates");
+  if (rng.bernoulli(epsilon)) return rng.uniform(candidates.size());
+  std::size_t best = 0;
+  double best_q = -1e300;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double q = online_.forward(candidates[i]);
+    if (q > best_q) {
+      best_q = q;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double DqnAgent::targetFor(const Transition& t) {
+  if (t.terminal || t.next_candidates.empty()) return t.reward;
+  double q_next;
+  if (cfg_.use_double_dqn) {
+    // Select with the online network, evaluate with the target network.
+    std::size_t best = 0;
+    double best_q = -1e300;
+    for (std::size_t i = 0; i < t.next_candidates.size(); ++i) {
+      const double q = online_.forward(t.next_candidates[i]);
+      if (q > best_q) {
+        best_q = q;
+        best = i;
+      }
+    }
+    q_next = target_.forward(t.next_candidates[best]);
+  } else {
+    q_next = -1e300;
+    for (const auto& c : t.next_candidates)
+      q_next = std::max(q_next, target_.forward(c));
+  }
+  if (cfg_.use_max_bellman) return std::max(t.reward, cfg_.gamma * q_next);
+  return t.reward + cfg_.gamma * q_next;
+}
+
+void DqnAgent::trainStep() {
+  const auto batch =
+      replay_.sample(static_cast<std::size_t>(cfg_.batch_size), rng_);
+  online_.zeroGrad();
+  for (const Transition* t : batch) {
+    const double y = targetFor(*t);
+    const double q = online_.forward(t->x);
+    const double d = q - y;  // dMSE/dq = 2(q-y); fold 2 into lr
+    online_.backward(d / cfg_.batch_size);
+  }
+  online_.adamStep(cfg_.lr);
+  ++updates_;
+  if (updates_ % cfg_.target_sync_every == 0) target_.copyWeightsFrom(online_);
+}
+
+void DqnAgent::observe(Transition t) {
+  replay_.push(std::move(t));
+  // Environment steps are expensive (program evaluations); squeeze more
+  // learning out of each one with several replayed minibatches.
+  if (replay_.size() >= cfg_.min_replay)
+    for (int i = 0; i < cfg_.updates_per_step; ++i) trainStep();
+}
+
+}  // namespace perfdojo::rl

@@ -1,0 +1,62 @@
+// Deep Q-learning agent (Section 3.2-3.3): DQN with experience replay,
+// Double DQN target decoupling, dueling network architecture, and the
+// max-Bellman objective of Max Q-learning (Gottipati et al.) —
+//   Q_max(s,a) = E[ max(r(s,a), γ Q_max(s',a')) ]
+// which optimizes for the best state visited rather than the expected
+// cumulative reward, matching the performance game's objective.
+#pragma once
+
+#include <cstdint>
+
+#include "rl/nn.h"
+#include "rl/replay.h"
+#include "support/rng.h"
+
+namespace perfdojo::rl {
+
+struct DqnConfig {
+  int input_dim = 96;  // 2 x embedding dim
+  int hidden = 96;
+  double gamma = 0.95;
+  double lr = 1e-3;
+  bool use_double_dqn = true;
+  bool use_dueling = true;
+  bool use_max_bellman = true;
+  int batch_size = 16;
+  int updates_per_step = 2;    // minibatches per environment transition
+  int target_sync_every = 64;  // gradient updates between target syncs
+  std::size_t replay_capacity = 4096;
+  std::size_t min_replay = 48;  // warm-up before learning starts
+  std::uint64_t seed = 7;
+};
+
+class DqnAgent {
+ public:
+  explicit DqnAgent(const DqnConfig& cfg);
+
+  /// Online-network Q-value of a (state ‖ action) input.
+  double qValue(const Vec& x);
+
+  /// ε-greedy selection among candidate inputs; returns the chosen index.
+  std::size_t selectAction(const std::vector<Vec>& candidates, double epsilon,
+                           Rng& rng);
+
+  /// Stores a transition and runs one learning step when warmed up.
+  void observe(Transition t);
+
+  int updates() const { return updates_; }
+  const DqnConfig& config() const { return cfg_; }
+
+ private:
+  double targetFor(const Transition& t);
+  void trainStep();
+
+  DqnConfig cfg_;
+  Rng rng_;
+  QNetwork online_;
+  QNetwork target_;
+  ReplayBuffer replay_;
+  int updates_ = 0;
+};
+
+}  // namespace perfdojo::rl

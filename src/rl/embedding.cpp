@@ -1,0 +1,51 @@
+#include "rl/embedding.h"
+
+#include <cmath>
+
+#include "ir/canonical.h"
+#include "support/common.h"
+
+namespace perfdojo::rl {
+
+TextEmbedder::TextEmbedder(int dim, std::uint64_t seed)
+    : dim_(dim), seed_(seed) {
+  require(dim > 0, "TextEmbedder: dim must be positive");
+}
+
+std::vector<double> TextEmbedder::embed(const std::string& text) const {
+  std::vector<double> v(static_cast<std::size_t>(dim_), 0.0);
+  for (int n = 3; n <= 5; ++n) {
+    if (static_cast<int>(text.size()) < n) continue;
+    for (std::size_t i = 0; i + static_cast<std::size_t>(n) <= text.size(); ++i) {
+      const std::uint64_t h = fnv1a(text.data() + i, static_cast<std::size_t>(n), seed_);
+      const auto bucket = static_cast<std::size_t>(h % static_cast<std::uint64_t>(dim_));
+      const double sign = ((h >> 32) & 1) ? 1.0 : -1.0;
+      v[bucket] += sign;
+    }
+  }
+  double norm = 0;
+  for (double x : v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 0)
+    for (double& x : v) x /= norm;
+  return v;
+}
+
+std::vector<double> TextEmbedder::embedProgram(const ir::Program& p) const {
+  return embed(ir::canonicalText(p));
+}
+
+double TextEmbedder::cosine(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  require(a.size() == b.size(), "cosine: dim mismatch");
+  double dot = 0, na = 0, nb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0 || nb == 0) return 0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace perfdojo::rl

@@ -1,0 +1,42 @@
+// Program-text embedding: the stand-in for the paper's LLM encoder E(k).
+//
+// PerfLLM only requires a fixed function mapping the human-readable kernel
+// text to a dense vector such that textually similar programs embed nearby
+// (Section 3.1: "the primary role of the LLM is to encode the PerfDojo
+// program representation into a numerical embedding vector"). We use signed
+// hashed character n-grams over the canonical program text, L2-normalized —
+// deterministic, dependency-free, and locality-preserving for the
+// line-oriented IR (one transformation changes few lines, hence few n-gram
+// buckets). See DESIGN.md substitutions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace perfdojo::rl {
+
+class TextEmbedder {
+ public:
+  explicit TextEmbedder(int dim = 48, std::uint64_t seed = 0xE5CAFE);
+
+  int dim() const { return dim_; }
+
+  /// Embeds raw text (n-grams of length 3..5, signed feature hashing).
+  std::vector<double> embed(const std::string& text) const;
+
+  /// Embeds a program via its canonical text.
+  std::vector<double> embedProgram(const ir::Program& p) const;
+
+  /// Cosine similarity between two embeddings.
+  static double cosine(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+ private:
+  int dim_;
+  std::uint64_t seed_;
+};
+
+}  // namespace perfdojo::rl

@@ -1,0 +1,112 @@
+#include "rl/env.h"
+
+#include <cmath>
+#include <map>
+
+#include "support/common.h"
+
+namespace perfdojo::rl {
+
+PerfDojoEnv::PerfDojoEnv(ir::Program kernel, const machines::Machine& m,
+                         const TextEmbedder& embedder, EnvConfig cfg)
+    : kernel_(std::move(kernel)),
+      machine_(&m),
+      embedder_(&embedder),
+      cfg_(cfg),
+      best_(kernel_) {
+  reset();
+  best_ = kernel_;
+  best_runtime_ = dojo_->runtime();
+}
+
+void PerfDojoEnv::reset() {
+  dojo::DojoOptions opts;
+  opts.reward_scale = cfg_.reward_scale;
+  dojo_.emplace(kernel_, *machine_, opts);
+  state_ = embedder_->embedProgram(dojo_->program());
+  steps_ = 0;
+  ++evals_;
+}
+
+std::vector<EnvCandidate> PerfDojoEnv::candidates(Rng& rng) {
+  auto moves = dojo_->moves();
+  if (static_cast<int>(moves.size()) > cfg_.candidate_cap) {
+    // The paper's agent scores every applicable action; under a candidate
+    // cap we approximate that with stratified sampling: shuffle within each
+    // transform type, then round-robin across types, so every kind of move
+    // stays represented regardless of how many locations it has. This is a
+    // structural fairness device, not a performance heuristic.
+    std::map<std::string, std::vector<transform::Action>> by_type;
+    for (auto& mv : moves) by_type[mv.transform->name()].push_back(std::move(mv));
+    std::vector<std::vector<transform::Action>*> groups;
+    for (auto& [name, g] : by_type) {
+      rng.shuffle(g);
+      groups.push_back(&g);
+    }
+    rng.shuffle(groups);
+    std::vector<transform::Action> picked;
+    std::size_t round = 0;
+    while (static_cast<int>(picked.size()) < cfg_.candidate_cap) {
+      bool any = false;
+      for (auto* g : groups) {
+        if (round < g->size()) {
+          picked.push_back((*g)[round]);
+          any = true;
+          if (static_cast<int>(picked.size()) >= cfg_.candidate_cap) break;
+        }
+      }
+      if (!any) break;
+      ++round;
+    }
+    moves = std::move(picked);
+  }
+  std::vector<EnvCandidate> out;
+  out.reserve(moves.size() + 1);
+  for (auto& mv : moves) {
+    EnvCandidate c;
+    c.action = mv;
+    const ir::Program after = mv.apply(dojo_->program());
+    Vec e_after = embedder_->embedProgram(after);
+    c.input = state_;
+    c.input.insert(c.input.end(), e_after.begin(), e_after.end());
+    out.push_back(std::move(c));
+  }
+  // Stop action: two identical embeddings.
+  EnvCandidate stop;
+  stop.is_stop = true;
+  stop.input = state_;
+  stop.input.insert(stop.input.end(), state_.begin(), state_.end());
+  out.push_back(std::move(stop));
+  return out;
+}
+
+double PerfDojoEnv::shapedReward() const {
+  const double raw = cfg_.reward_scale / dojo_->runtime();
+  return cfg_.log_reward ? std::log(raw) : raw;
+}
+
+PerfDojoEnv::StepResult PerfDojoEnv::step(const EnvCandidate& c) {
+  StepResult r;
+  if (c.is_stop) {
+    r.reward = shapedReward();
+    r.terminal = true;
+    return r;
+  }
+  dojo_->play(c.action);
+  ++evals_;
+  state_ = embedder_->embedProgram(dojo_->program());
+  r.reward = shapedReward();
+  ++steps_;
+  r.terminal = steps_ >= cfg_.max_steps;
+  if (dojo_->runtime() < best_runtime_) {
+    best_runtime_ = dojo_->runtime();
+    best_ = dojo_->program();
+  }
+  return r;
+}
+
+double PerfDojoEnv::bestRuntime() const { return best_runtime_; }
+const ir::Program& PerfDojoEnv::bestProgram() const { return best_; }
+double PerfDojoEnv::currentRuntime() const { return dojo_->runtime(); }
+
+}  // namespace perfdojo::rl

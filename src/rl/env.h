@@ -1,0 +1,74 @@
+// The PerfDojo RL environment (Section 3.1): states are embeddings of the
+// current kernel, actions are (embedding-before ‖ embedding-after) pairs —
+// the stop action being the concatenation of two identical embeddings — and
+// the reward after each move is r = c / T(k').
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dojo/dojo.h"
+#include "rl/embedding.h"
+#include "rl/nn.h"
+#include "support/rng.h"
+
+namespace perfdojo::rl {
+
+struct EnvConfig {
+  int max_steps = 24;        // episode length cap
+  int candidate_cap = 32;    // moves offered per step (sampled if more apply)
+  double reward_scale = 1e-6;  // the constant c in r = c/T
+  /// Report log(c/T) instead of c/T: degradations earn negative rewards and
+  /// the Q-regression targets stay well-conditioned across 100x speedups.
+  bool log_reward = true;
+};
+
+struct EnvCandidate {
+  bool is_stop = false;
+  transform::Action action;  // undefined when is_stop
+  Vec input;                 // concat(E(k), E(k')) — the Q-network input
+};
+
+class PerfDojoEnv {
+ public:
+  PerfDojoEnv(ir::Program kernel, const machines::Machine& m,
+              const TextEmbedder& embedder, EnvConfig cfg = {});
+
+  /// Starts a fresh episode from the original kernel.
+  void reset();
+
+  const Vec& state() const { return state_; }
+
+  /// Applicable moves (embedded), capped, plus the stop action (always
+  /// last). Candidate order is deterministic given the rng state.
+  std::vector<EnvCandidate> candidates(Rng& rng);
+
+  struct StepResult {
+    double reward = 0;
+    bool terminal = false;
+  };
+  StepResult step(const EnvCandidate& c);
+
+  double bestRuntime() const;
+  /// Reward of the current state under the configured shaping.
+  double shapedReward() const;
+  const ir::Program& bestProgram() const;
+  double currentRuntime() const;
+  int stepsTaken() const { return steps_; }
+  /// Program evaluations consumed so far (the paper's search-cost metric).
+  std::int64_t evals() const { return evals_; }
+
+ private:
+  ir::Program kernel_;
+  const machines::Machine* machine_;
+  const TextEmbedder* embedder_;
+  EnvConfig cfg_;
+  std::optional<dojo::Dojo> dojo_;
+  Vec state_;
+  int steps_ = 0;
+  std::int64_t evals_ = 0;
+  ir::Program best_;
+  double best_runtime_ = 1e300;
+};
+
+}  // namespace perfdojo::rl

@@ -1,0 +1,172 @@
+#include "rl/nn.h"
+
+#include <cmath>
+
+#include "support/common.h"
+
+namespace perfdojo::rl {
+
+Linear::Linear(int in, int out, Rng& rng) : in_(in), out_(out) {
+  require(in > 0 && out > 0, "Linear: dims must be positive");
+  const double scale = std::sqrt(2.0 / in);  // He initialization
+  W_.resize(static_cast<std::size_t>(in) * out);
+  for (auto& w : W_) w = rng.normal() * scale;
+  b_.assign(static_cast<std::size_t>(out), 0.0);
+  gW_.assign(W_.size(), 0.0);
+  gb_.assign(b_.size(), 0.0);
+  mW_.assign(W_.size(), 0.0);
+  vW_.assign(W_.size(), 0.0);
+  mb_.assign(b_.size(), 0.0);
+  vb_.assign(b_.size(), 0.0);
+}
+
+Vec Linear::forward(const Vec& x) {
+  require(static_cast<int>(x.size()) == in_, "Linear::forward: dim mismatch");
+  last_x_ = x;
+  Vec y(static_cast<std::size_t>(out_));
+  for (int o = 0; o < out_; ++o) {
+    double acc = b_[static_cast<std::size_t>(o)];
+    const double* row = &W_[static_cast<std::size_t>(o) * in_];
+    for (int i = 0; i < in_; ++i) acc += row[i] * x[static_cast<std::size_t>(i)];
+    y[static_cast<std::size_t>(o)] = acc;
+  }
+  return y;
+}
+
+Vec Linear::backward(const Vec& dy) {
+  require(static_cast<int>(dy.size()) == out_, "Linear::backward: dim mismatch");
+  Vec dx(static_cast<std::size_t>(in_), 0.0);
+  for (int o = 0; o < out_; ++o) {
+    const double g = dy[static_cast<std::size_t>(o)];
+    gb_[static_cast<std::size_t>(o)] += g;
+    double* grow = &gW_[static_cast<std::size_t>(o) * in_];
+    const double* row = &W_[static_cast<std::size_t>(o) * in_];
+    for (int i = 0; i < in_; ++i) {
+      grow[i] += g * last_x_[static_cast<std::size_t>(i)];
+      dx[static_cast<std::size_t>(i)] += g * row[i];
+    }
+  }
+  return dx;
+}
+
+void Linear::zeroGrad() {
+  std::fill(gW_.begin(), gW_.end(), 0.0);
+  std::fill(gb_.begin(), gb_.end(), 0.0);
+}
+
+void Linear::adamStep(double lr, int t, double beta1, double beta2, double eps) {
+  const double bc1 = 1.0 - std::pow(beta1, t);
+  const double bc2 = 1.0 - std::pow(beta2, t);
+  auto update = [&](Vec& p, Vec& g, Vec& m, Vec& v) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      m[i] = beta1 * m[i] + (1 - beta1) * g[i];
+      v[i] = beta2 * v[i] + (1 - beta2) * g[i] * g[i];
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  };
+  update(W_, gW_, mW_, vW_);
+  update(b_, gb_, mb_, vb_);
+  zeroGrad();
+}
+
+void Linear::copyWeightsFrom(const Linear& other) {
+  require(in_ == other.in_ && out_ == other.out_, "copyWeightsFrom: shape mismatch");
+  W_ = other.W_;
+  b_ = other.b_;
+}
+
+Vec relu(const Vec& x) {
+  Vec y = x;
+  for (auto& v : y) v = v > 0 ? v : 0.0;
+  return y;
+}
+
+Vec reluBackward(const Vec& dy, const Vec& x) {
+  Vec dx = dy;
+  for (std::size_t i = 0; i < dx.size(); ++i)
+    if (x[i] <= 0) dx[i] = 0.0;
+  return dx;
+}
+
+QNetwork::QNetwork(int input_dim, int hidden, Rng& rng, bool dueling)
+    : input_dim_(input_dim),
+      dueling_(dueling),
+      l1_(input_dim, hidden, rng),
+      l2_(hidden, hidden, rng),
+      v1_(hidden, hidden / 2, rng),
+      v2_(hidden / 2, 1, rng),
+      a1_(hidden, hidden / 2, rng),
+      a2_(hidden / 2, 1, rng) {}
+
+double QNetwork::forward(const Vec& x) {
+  x1_ = l1_.forward(x);
+  h1_ = relu(x1_);
+  x2_ = l2_.forward(h1_);
+  h2_ = relu(x2_);
+  if (!dueling_) {
+    xa_ = a1_.forward(h2_);
+    ha_ = relu(xa_);
+    return a2_.forward(ha_)[0];
+  }
+  xv_ = v1_.forward(h2_);
+  hv_ = relu(xv_);
+  const double v = v2_.forward(hv_)[0];
+  xa_ = a1_.forward(h2_);
+  ha_ = relu(xa_);
+  const double a = a2_.forward(ha_)[0];
+  return v + a;
+}
+
+void QNetwork::backward(double dq) {
+  Vec dh2(h2_.size(), 0.0);
+  {
+    Vec dha = a2_.backward({dq});
+    Vec dxa = reluBackward(dha, xa_);
+    Vec d = a1_.backward(dxa);
+    for (std::size_t i = 0; i < dh2.size(); ++i) dh2[i] += d[i];
+  }
+  if (dueling_) {
+    Vec dhv = v2_.backward({dq});
+    Vec dxv = reluBackward(dhv, xv_);
+    Vec d = v1_.backward(dxv);
+    for (std::size_t i = 0; i < dh2.size(); ++i) dh2[i] += d[i];
+  }
+  Vec dx2 = reluBackward(dh2, x2_);
+  Vec dh1 = l2_.backward(dx2);
+  Vec dx1 = reluBackward(dh1, x1_);
+  l1_.backward(dx1);
+}
+
+void QNetwork::zeroGrad() {
+  l1_.zeroGrad();
+  l2_.zeroGrad();
+  v1_.zeroGrad();
+  v2_.zeroGrad();
+  a1_.zeroGrad();
+  a2_.zeroGrad();
+}
+
+void QNetwork::adamStep(double lr) {
+  ++adam_t_;
+  l1_.adamStep(lr, adam_t_);
+  l2_.adamStep(lr, adam_t_);
+  if (dueling_) {
+    v1_.adamStep(lr, adam_t_);
+    v2_.adamStep(lr, adam_t_);
+  }
+  a1_.adamStep(lr, adam_t_);
+  a2_.adamStep(lr, adam_t_);
+}
+
+void QNetwork::copyWeightsFrom(const QNetwork& other) {
+  l1_.copyWeightsFrom(other.l1_);
+  l2_.copyWeightsFrom(other.l2_);
+  v1_.copyWeightsFrom(other.v1_);
+  v2_.copyWeightsFrom(other.v2_);
+  a1_.copyWeightsFrom(other.a1_);
+  a2_.copyWeightsFrom(other.a2_);
+}
+
+}  // namespace perfdojo::rl

@@ -1,0 +1,81 @@
+// Minimal neural-network layer zoo for the DQN: dense layers with ReLU,
+// Adam optimization, and a dueling Q-network head. Written from scratch —
+// no external ML dependency — because the networks are tiny (the state is a
+// 48-dim embedding) and determinism matters for reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace perfdojo::rl {
+
+using Vec = std::vector<double>;
+
+/// Fully connected layer with Adam state. Sample-at-a-time interface:
+/// forward caches the input, backward accumulates gradients; adamStep
+/// applies the accumulated (mini-batch) gradient and clears it.
+class Linear {
+ public:
+  Linear(int in, int out, Rng& rng);
+
+  Vec forward(const Vec& x);
+  /// dy -> dx; accumulates dW, db.
+  Vec backward(const Vec& dy);
+
+  void zeroGrad();
+  void adamStep(double lr, int t, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+
+  int inDim() const { return in_; }
+  int outDim() const { return out_; }
+
+  /// Copies weights from another layer (target-network sync).
+  void copyWeightsFrom(const Linear& other);
+
+ private:
+  int in_, out_;
+  Vec W_, b_;          // W row-major [out x in]
+  Vec gW_, gb_;        // accumulated gradients
+  Vec mW_, vW_, mb_, vb_;  // Adam moments
+  Vec last_x_;
+};
+
+Vec relu(const Vec& x);
+/// Backprop through ReLU given the forward input.
+Vec reluBackward(const Vec& dy, const Vec& x);
+
+/// Dueling Q-network over concatenated (state ‖ action) embeddings:
+/// shared trunk -> value stream + advantage stream, Q = V + A
+/// (mean-centering over the dynamic action set is skipped; with a
+/// continuous action embedding the decomposition still regularizes
+/// learning, which is the property Section 3.3 relies on).
+class QNetwork {
+ public:
+  QNetwork(int input_dim, int hidden, Rng& rng, bool dueling = true);
+
+  double forward(const Vec& x);
+  /// Backward from dQ (scalar loss gradient); accumulates all layer grads.
+  void backward(double dq);
+
+  void zeroGrad();
+  void adamStep(double lr);
+
+  void copyWeightsFrom(const QNetwork& other);
+
+  bool dueling() const { return dueling_; }
+  int inputDim() const { return input_dim_; }
+
+ private:
+  int input_dim_;
+  bool dueling_;
+  Linear l1_, l2_;
+  Linear v1_, v2_;  // value stream
+  Linear a1_, a2_;  // advantage stream
+  // forward caches
+  Vec x1_, h1_, x2_, h2_, xv_, hv_, xa_, ha_;
+  int adam_t_ = 0;
+};
+
+}  // namespace perfdojo::rl

@@ -1,0 +1,78 @@
+#include "rl/perfllm.h"
+
+#include <algorithm>
+
+#include "support/common.h"
+
+namespace perfdojo::rl {
+
+PerfLLMResult optimizeKernel(const ir::Program& kernel,
+                             const machines::Machine& m,
+                             const PerfLLMConfig& cfg) {
+  TextEmbedder embedder(cfg.embedding_dim);
+  EnvConfig ec;
+  ec.max_steps = cfg.max_steps;
+  ec.candidate_cap = cfg.candidate_cap;
+  // r = c/T with the scaling constant c chosen as the unscheduled kernel's
+  // runtime, so rewards are dimensionless speedups (~1..100) and the value
+  // network regresses over a well-conditioned range on every kernel.
+  ec.reward_scale = m.evaluate(kernel);
+  ec.log_reward = cfg.log_reward;
+  PerfDojoEnv env(kernel, m, embedder, ec);
+
+  DqnConfig dc;
+  dc.input_dim = 2 * cfg.embedding_dim;
+  dc.gamma = cfg.gamma;
+  dc.lr = cfg.lr;
+  dc.use_double_dqn = cfg.use_double_dqn;
+  dc.use_dueling = cfg.use_dueling;
+  dc.use_max_bellman = cfg.use_max_bellman;
+  dc.seed = cfg.seed ^ 0xD00D;
+  DqnAgent agent(dc);
+
+  Rng rng(cfg.seed);
+  PerfLLMResult res;
+  res.initial_runtime = m.evaluate(kernel);
+
+  double epsilon = cfg.epsilon_start;
+  for (int ep = 0; ep < cfg.episodes; ++ep) {
+    env.reset();
+    bool terminal = false;
+    auto cands = env.candidates(rng);
+    while (!terminal) {
+      std::vector<Vec> inputs;
+      inputs.reserve(cands.size());
+      for (const auto& c : cands) inputs.push_back(c.input);
+      const std::size_t pick = agent.selectAction(inputs, epsilon, rng);
+      const EnvCandidate chosen = cands[pick];
+      const auto sr = env.step(chosen);
+      terminal = sr.terminal;
+
+      Transition t;
+      t.x = chosen.input;
+      t.reward = sr.reward;
+      t.terminal = terminal;
+      if (!terminal) {
+        cands = env.candidates(rng);
+        // Cap the stored successor set: the Double-DQN target maxes over a
+        // subsample of the next state's actions (recomputing over hundreds
+        // per replayed sample would dominate the whole training loop).
+        const std::size_t cap = 20;
+        t.next_candidates.reserve(std::min(cands.size(), cap));
+        for (std::size_t ci = 0; ci < cands.size() && ci < cap; ++ci)
+          t.next_candidates.push_back(cands[ci].input);
+      }
+      agent.observe(std::move(t));
+    }
+    epsilon = std::max(cfg.epsilon_end, epsilon * cfg.epsilon_decay);
+    res.episode_best.push_back(env.bestRuntime());
+  }
+
+  res.best = env.bestProgram();
+  res.best_runtime = env.bestRuntime();
+  res.evals = env.evals();
+  res.dqn_updates = agent.updates();
+  return res;
+}
+
+}  // namespace perfdojo::rl

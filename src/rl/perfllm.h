@@ -1,0 +1,49 @@
+// PerfLLM (Section 3, Figure 1a): the full training pipeline — embed the
+// kernel, explore the transformation game ε-greedily, learn Q-values with
+// the DQN of rl/dqn.h, and return the best implementation discovered.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machines/machine.h"
+#include "rl/dqn.h"
+#include "rl/embedding.h"
+#include "rl/env.h"
+
+namespace perfdojo::rl {
+
+struct PerfLLMConfig {
+  int episodes = 30;
+  int max_steps = 24;
+  int candidate_cap = 24;
+  int embedding_dim = 48;
+  double epsilon_start = 0.9;
+  double epsilon_end = 0.05;
+  double epsilon_decay = 0.93;  // per episode
+  double gamma = 0.95;
+  double lr = 1e-3;
+  bool use_double_dqn = true;
+  bool use_dueling = true;
+  bool use_max_bellman = true;
+  bool log_reward = true;  // see EnvConfig::log_reward
+  std::uint64_t seed = 17;
+};
+
+struct PerfLLMResult {
+  ir::Program best;
+  double best_runtime = 0;
+  double initial_runtime = 0;
+  std::int64_t evals = 0;              // program evaluations consumed
+  std::vector<double> episode_best;    // best-so-far after each episode
+  int dqn_updates = 0;
+};
+
+/// Optimizes one kernel on one machine with RL — the paper's claim: no
+/// hardware heuristics; the machine is exposed only through the applicable
+/// transformations and the measured reward.
+PerfLLMResult optimizeKernel(const ir::Program& kernel,
+                             const machines::Machine& m,
+                             const PerfLLMConfig& cfg = {});
+
+}  // namespace perfdojo::rl

@@ -1,0 +1,26 @@
+#include "rl/replay.h"
+
+#include "support/common.h"
+
+namespace perfdojo::rl {
+
+void ReplayBuffer::push(Transition t) {
+  if (data_.size() < capacity_) {
+    data_.push_back(std::move(t));
+    return;
+  }
+  data_[next_] = std::move(t);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t n,
+                                                    Rng& rng) const {
+  require(!data_.empty(), "ReplayBuffer::sample: empty buffer");
+  std::vector<const Transition*> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(&data_[rng.uniform(data_.size())]);
+  return out;
+}
+
+}  // namespace perfdojo::rl

@@ -1,0 +1,39 @@
+// Experience replay buffer (Section 3.3). Each transition stores the
+// (state ‖ action) input of the move taken, the reward, and the candidate
+// action inputs available in the successor state so Double-DQN targets can
+// be recomputed off-policy under the current networks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rl/nn.h"
+#include "support/rng.h"
+
+namespace perfdojo::rl {
+
+struct Transition {
+  Vec x;                       // concat(E(k), E(k')) of the chosen action
+  double reward = 0;
+  bool terminal = false;       // stop action or dead end
+  std::vector<Vec> next_candidates;  // inputs available from the new state
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void push(Transition t);
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Uniform random minibatch (breaks temporal correlation).
+  std::vector<const Transition*> sample(std::size_t n, Rng& rng) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring cursor once full
+  std::vector<Transition> data_;
+};
+
+}  // namespace perfdojo::rl

@@ -1,0 +1,91 @@
+#include "rl/toy_mdp.h"
+
+#include <algorithm>
+
+#include "support/rng.h"
+
+namespace perfdojo::rl {
+
+namespace {
+
+// Chain: S0 -a1(-1)-> S1 -a1(-1)-> S2 -a1(+10)-> S3 (terminal).
+// a0 (stop) is available everywhere and terminates with the value of the
+// current implementation: 8 at S0 (already good), 0.5 at degraded S1/S2.
+constexpr int kStates = 3;  // S0..S2 are decision states; S3 terminal
+constexpr double kStopReward[kStates] = {8.0, 0.5, 0.5};
+constexpr double kGoReward[kStates] = {-1.0, -1.0, 10.0};
+
+}  // namespace
+
+ToyMdpResult toyMdpExact(double gamma) {
+  // Backward induction for both objectives.
+  double v_std[kStates + 1] = {0, 0, 0, 0};
+  double v_max[kStates + 1] = {0, 0, 0, 0};
+  ToyMdpResult r;
+  for (int s = kStates - 1; s >= 0; --s) {
+    const double q_std_go = kGoReward[s] + gamma * v_std[s + 1];
+    const double q_max_go = std::max(kGoReward[s], gamma * v_max[s + 1]);
+    const double q_stop = kStopReward[s];
+    v_std[s] = std::max(q_std_go, q_stop);
+    v_max[s] = std::max(q_max_go, q_stop);
+    if (s == 0) {
+      r.q_std_stop = q_stop;
+      r.q_std_go = q_std_go;
+      r.q_max_stop = q_stop;
+      r.q_max_go = q_max_go;
+    }
+  }
+  r.std_stops = r.q_std_stop > r.q_std_go;
+  r.max_goes = r.q_max_go > r.q_max_stop;
+  return r;
+}
+
+ToyMdpResult runToyMdp(int episodes, double gamma, double alpha,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  // q[objective][state][action]; action 0 = stop, 1 = go.
+  double q[2][kStates][2] = {};
+
+  for (int obj = 0; obj < 2; ++obj) {
+    const bool max_bellman = obj == 1;
+    for (int ep = 0; ep < episodes; ++ep) {
+      const double eps = std::max(0.05, 1.0 - ep / (0.7 * episodes));
+      int s = 0;
+      while (true) {
+        int a;
+        if (rng.bernoulli(eps)) a = static_cast<int>(rng.uniform(2));
+        else a = q[obj][s][1] > q[obj][s][0] ? 1 : 0;
+        if (a == 0) {
+          const double target = kStopReward[s];
+          q[obj][s][0] += alpha * (target - q[obj][s][0]);
+          break;
+        }
+        const double r = kGoReward[s];
+        const int s2 = s + 1;
+        double target;
+        if (s2 >= kStates) {
+          // S3 is terminal.
+          target = max_bellman ? r : r;
+        } else {
+          const double next_best = std::max(q[obj][s2][0], q[obj][s2][1]);
+          target = max_bellman ? std::max(r, gamma * next_best)
+                               : r + gamma * next_best;
+        }
+        q[obj][s][1] += alpha * (target - q[obj][s][1]);
+        s = s2;
+        if (s >= kStates) break;
+      }
+    }
+  }
+
+  ToyMdpResult r;
+  r.q_std_stop = q[0][0][0];
+  r.q_std_go = q[0][0][1];
+  r.q_max_stop = q[1][0][0];
+  r.q_max_go = q[1][0][1];
+  r.std_stops = r.q_std_stop > r.q_std_go;
+  r.max_goes = r.q_max_go > r.q_max_stop;
+  return r;
+}
+
+}  // namespace perfdojo::rl

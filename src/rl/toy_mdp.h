@@ -1,0 +1,31 @@
+// The Figure 6 example: a 4-state chain where the current implementation is
+// already good (stopping at S0 yields a high immediate reward) and the path
+// to the best implementation S3 first *degrades* performance. Original
+// Q-learning maximizes expected cumulative reward and stops immediately;
+// Max Q-learning maximizes the best reward achieved along the trajectory and
+// takes the path. (The chain uses the paper's earlier relative-reward
+// formulation, where degrading transformations earn negative rewards —
+// exactly the setting that motivated adopting Max Q-learning.)
+#pragma once
+
+#include <cstdint>
+
+namespace perfdojo::rl {
+
+struct ToyMdpResult {
+  // Learned tabular action values at S0.
+  double q_std_stop = 0, q_std_go = 0;
+  double q_max_stop = 0, q_max_go = 0;
+  bool std_stops = false;  // original Q-learning picks the stop action a0
+  bool max_goes = false;   // Max Q-learning picks a1 toward S3
+};
+
+/// Runs tabular Q-learning and tabular Max Q-learning on the chain with
+/// ε-greedy exploration, returning the learned S0 action values.
+ToyMdpResult runToyMdp(int episodes = 4000, double gamma = 0.9,
+                       double alpha = 0.2, std::uint64_t seed = 5);
+
+/// Exact values via dynamic programming (used to validate the learners).
+ToyMdpResult toyMdpExact(double gamma = 0.9);
+
+}  // namespace perfdojo::rl

@@ -1,0 +1,98 @@
+#include "search/graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "ir/canonical.h"
+#include "support/common.h"
+#include "support/strings.h"
+
+namespace perfdojo::search {
+
+TransformationGraph::TransformationGraph(const ir::Program& root,
+                                         const machines::Machine& m,
+                                         int max_depth, std::size_t max_nodes) {
+  root_hash_ = ir::canonicalHash(root);
+  nodes_[root_hash_] = {root_hash_, root, m.evaluate(root), 0};
+  std::deque<std::uint64_t> frontier{root_hash_};
+  while (!frontier.empty() && nodes_.size() < max_nodes) {
+    const std::uint64_t h = frontier.front();
+    frontier.pop_front();
+    const GraphNode& n = nodes_.at(h);
+    if (n.depth >= max_depth) continue;
+    const int depth = n.depth;
+    // Copy the program out: expanding mutates the node map.
+    const ir::Program p = n.program;
+    for (const auto& a : transform::allActions(p, m.caps())) {
+      if (nodes_.size() >= max_nodes) break;
+      ir::Program q = a.apply(p);
+      const std::uint64_t qh = ir::canonicalHash(q);
+      const std::string label = a.describe(p);
+      edges_.push_back({h, qh, label});
+      if (nodes_.count(qh)) continue;  // reached earlier by another path
+      GraphNode node;
+      node.hash = qh;
+      node.program = std::move(q);
+      node.runtime = m.evaluate(node.program);
+      node.depth = depth + 1;
+      nodes_[qh] = std::move(node);
+      parent_[qh] = {h, label};
+      frontier.push_back(qh);
+    }
+  }
+}
+
+const GraphNode* TransformationGraph::find(std::uint64_t hash) const {
+  auto it = nodes_.find(hash);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const GraphNode& TransformationGraph::best() const {
+  const GraphNode* best = nullptr;
+  for (const auto& [h, n] : nodes_)
+    if (!best || n.runtime < best->runtime) best = &n;
+  require(best != nullptr, "TransformationGraph: empty graph");
+  return *best;
+}
+
+const GraphNode& TransformationGraph::root() const {
+  return nodes_.at(root_hash_);
+}
+
+std::vector<std::string> TransformationGraph::pathTo(std::uint64_t hash) const {
+  std::vector<std::string> path;
+  std::uint64_t cur = hash;
+  while (cur != root_hash_) {
+    auto it = parent_.find(cur);
+    require(it != parent_.end(), "pathTo: node not reachable from root");
+    path.push_back(it->second.second);
+    cur = it->second.first;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string TransformationGraph::toDot(std::size_t max_rendered) const {
+  std::string out = "digraph perfdojo {\n  rankdir=LR;\n  node [shape=box];\n";
+  const double best_rt = best().runtime;
+  std::size_t rendered = 0;
+  std::map<std::uint64_t, bool> shown;
+  for (const auto& [h, n] : nodes_) {
+    if (rendered++ >= max_rendered) break;
+    shown[h] = true;
+    const bool is_best = n.runtime <= best_rt * 1.0001;
+    out += "  n" + std::to_string(h) + " [label=\"" + fmt(n.runtime, 3) +
+           "s\\nd=" + std::to_string(n.depth) + "\"" +
+           (is_best ? ", style=filled, fillcolor=palegreen" : "") + "];\n";
+  }
+  for (const auto& e : edges_) {
+    if (!shown.count(e.from) || !shown.count(e.to)) continue;
+    std::string label = e.label.substr(0, 24);
+    out += "  n" + std::to_string(e.from) + " -> n" + std::to_string(e.to) +
+           " [label=\"" + label + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace perfdojo::search

@@ -1,0 +1,42 @@
+// Optimization passes (Section 4.1): deterministic transformation pipelines.
+//
+//  * naive     — imitates a programmer without architectural insight: fuse
+//                scopes and reuse buffers until exhaustion.
+//  * greedy    — naive + hardware-aware transformations applied exhaustively,
+//                assuming they are always beneficial.
+//  * heuristic — written by a "hardware expert": accounts for program
+//                structure (e.g. tiling reduction nests by 4 on Snitch to
+//                hide the FPU pipeline latency, vectorizing reductions via
+//                partial accumulators on CPUs, grid/block mapping on GPUs).
+#pragma once
+
+#include <functional>
+
+#include "machines/machine.h"
+#include "transform/history.h"
+
+namespace perfdojo::search {
+
+/// Applies the pass and returns the full transformation history (the
+/// sequence is inspectable and replayable).
+transform::History naivePass(ir::Program p, const machines::Machine& m);
+transform::History greedyPass(ir::Program p, const machines::Machine& m);
+transform::History heuristicPass(ir::Program p, const machines::Machine& m);
+
+/// Helpers shared by passes and the heuristic search neighborhoods.
+namespace detail {
+
+/// Applies `t` at its first applicable location repeatedly until none remain
+/// or `max_apps` applications happened. Returns the number applied.
+int applyExhaustively(transform::History& h, const transform::Transform& t,
+                      const transform::MachineCaps& caps, int max_apps = 1000);
+
+/// Applies `t` at the first location satisfying `pred` once; true on success.
+bool applyFirst(transform::History& h, const transform::Transform& t,
+                const transform::MachineCaps& caps,
+                const std::function<bool(const ir::Program&,
+                                         const transform::Location&)>& pred);
+
+}  // namespace detail
+
+}  // namespace perfdojo::search

@@ -1,0 +1,317 @@
+#include "search/search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/walk.h"
+#include "search/pass.h"
+#include "support/common.h"
+
+namespace perfdojo::search {
+
+using transform::Action;
+using transform::History;
+using transform::Location;
+using transform::MachineCaps;
+using transform::Step;
+
+const char* searchMethodName(SearchMethod m) {
+  return m == SearchMethod::RandomSampling ? "random" : "annealing";
+}
+
+const char* spaceStructureName(SpaceStructure s) {
+  return s == SpaceStructure::Edges ? "edges" : "heuristic";
+}
+
+bool suggestExpertAction(const ir::Program& p, const MachineCaps& caps,
+                         Rng& rng, Action& out) {
+  auto actions = transform::allActions(p, caps);
+  if (actions.empty()) return false;
+  std::vector<double> weights;
+  weights.reserve(actions.size());
+  for (const auto& a : actions) {
+    const std::string& n = a.transform->name();
+    double w = 1.0;
+    if (caps.has_ssr || caps.has_frep) {
+      if (n == "frep") w = 12;
+      else if (n == "ssr_stream") w = 10;
+      else if (n == "partial_reduce" && a.loc.param == 4) w = 10;
+      else if (n == "unroll") w = 6;
+      else if (n == "join_scopes" || n == "reuse_dims") w = 4;
+    } else if (caps.is_gpu) {
+      if (n == "gpu_map_grid") w = 12;
+      else if (n == "gpu_map_block") w = 12;
+      else if (n == "vectorize") w = 10;
+      else if (n == "split_scope" &&
+               (a.loc.param == 4 || a.loc.param % caps.warp_size == 0))
+        w = 6;
+      else if (n == "join_scopes" || n == "reuse_dims") w = 8;
+    } else {
+      if (n == "vectorize") w = 12;
+      else if (n == "parallelize") w = 12;
+      else if (n == "join_scopes" || n == "reuse_dims") w = 10;
+      else if (n == "partial_reduce") w = 7;
+      else if (n == "split_scope" &&
+               std::find(caps.vector_widths.begin(), caps.vector_widths.end(),
+                         a.loc.param) != caps.vector_widths.end())
+        w = 7;
+      else if (n == "set_storage") w = 4;
+      else if (n == "unroll") w = 3;
+    }
+    weights.push_back(w);
+  }
+  out = actions[rng.weightedIndex(weights)];
+  return true;
+}
+
+namespace {
+
+struct Tracker {
+  ir::Program best;
+  double best_runtime = 1e300;
+  std::vector<double> trace;
+  int evals = 0;
+  int budget;
+
+  explicit Tracker(int b) : budget(b) {}
+
+  bool exhausted() const { return evals >= budget; }
+
+  void record(const ir::Program& p, double runtime) {
+    ++evals;
+    if (runtime < best_runtime) {
+      best_runtime = runtime;
+      best = p;
+    }
+    trace.push_back(best_runtime);
+  }
+};
+
+// --- Edges structure: nodes are programs, neighbors are single actions. ---
+
+struct PoolEntry {
+  ir::Program program;
+  double runtime;
+  double parent_runtime;  // cost used for sampling (paper Section 4.2.2)
+};
+
+void randomSamplingEdges(const ir::Program& kernel,
+                         const machines::Machine& m, const SearchConfig& cfg,
+                         Tracker& tr) {
+  Rng rng(cfg.seed);
+  std::vector<PoolEntry> pool;
+  const double t0 = m.evaluate(kernel);
+  tr.record(kernel, t0);
+  pool.push_back({kernel, t0, t0});
+  while (!tr.exhausted()) {
+    // Sample proportionally to 1/parent_runtime: children of fast parents.
+    std::vector<double> w;
+    w.reserve(pool.size());
+    for (const auto& e : pool) w.push_back(1.0 / e.parent_runtime);
+    const auto& parent = pool[rng.weightedIndex(w)];
+    auto actions = transform::allActions(parent.program, m.caps());
+    if (actions.empty()) continue;
+    const auto& a = actions[rng.uniform(actions.size())];
+    ir::Program child = a.apply(parent.program);
+    const double rt = m.evaluate(child);
+    tr.record(child, rt);
+    pool.push_back({std::move(child), rt, parent.runtime});
+    if (pool.size() > 4096) pool.erase(pool.begin(), pool.begin() + 1024);
+  }
+}
+
+void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
+                    const SearchConfig& cfg, Tracker& tr) {
+  Rng rng(cfg.seed);
+  ir::Program cur = kernel;
+  double cur_rt = m.evaluate(cur);
+  const double base_rt = cur_rt;
+  tr.record(cur, cur_rt);
+  double temp = cfg.sa_t0;
+  int steps = 0;
+  while (!tr.exhausted()) {
+    auto actions = transform::allActions(cur, m.caps());
+    if (actions.empty() || steps >= cfg.max_steps) {
+      cur = kernel;  // restart from the source program
+      cur_rt = base_rt;
+      steps = 0;
+      continue;
+    }
+    const auto& a = actions[rng.uniform(actions.size())];
+    ir::Program cand = a.apply(cur);
+    const double rt = m.evaluate(cand);
+    tr.record(cand, rt);
+    const double delta = (rt - cur_rt) / base_rt;
+    if (delta <= 0 || rng.uniformReal() < std::exp(-delta / std::max(temp, 1e-6))) {
+      cur = std::move(cand);
+      cur_rt = rt;
+      ++steps;
+    }
+    temp *= cfg.sa_decay;
+  }
+}
+
+// --- Heuristic structure: states are whole transformation sequences,
+//     refined at arbitrary points (Section 4.2.1). ---
+
+struct SeqState {
+  std::vector<Step> steps;
+  double runtime;
+  double parent_runtime;
+};
+
+/// Proposes a neighbor sequence: append an expert-suggested action, or
+/// replace/erase a randomly chosen step while keeping the rest.
+bool mutateSequence(const ir::Program& kernel, const machines::Machine& m,
+                    Rng& rng, const std::vector<Step>& steps, int max_steps,
+                    std::vector<Step>& out) {
+  const double r = rng.uniformReal();
+  History h(kernel);
+  History::ReplayResult rr;
+  if (steps.empty() || (r < 0.6 && static_cast<int>(steps.size()) < max_steps)) {
+    // Append: replay then push an expert-biased action.
+    auto p = History::replay(kernel, steps, rr);
+    if (!p) return false;
+    Action a;
+    if (!suggestExpertAction(*p, m.caps(), rng, a)) return false;
+    out = steps;
+    out.push_back({a.transform, a.loc});
+    return true;
+  }
+  const std::size_t idx = rng.uniform(steps.size());
+  if (r < 0.8) {
+    // Replace step idx with an expert action applicable at that point.
+    std::vector<Step> prefix(steps.begin(),
+                             steps.begin() + static_cast<std::ptrdiff_t>(idx));
+    auto p = History::replay(kernel, prefix, rr);
+    if (!p) return false;
+    Action a;
+    if (!suggestExpertAction(*p, m.caps(), rng, a)) return false;
+    out = steps;
+    out[idx] = {a.transform, a.loc};
+  } else {
+    // Erase step idx.
+    out = steps;
+    out.erase(out.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return true;
+}
+
+/// Evaluates a sequence; false if any step fails to replay.
+bool evalSequence(const ir::Program& kernel, const machines::Machine& m,
+                  const std::vector<Step>& steps, ir::Program& prog,
+                  double& rt) {
+  History::ReplayResult rr;
+  auto p = History::replay(kernel, steps, rr);
+  if (!p) return false;
+  prog = std::move(*p);
+  rt = m.evaluate(prog);
+  return true;
+}
+
+/// Section 4.2.1: "an initial complete sequence is generated as a candidate
+/// and then iteratively refined" — the expert pass provides that sequence.
+std::vector<Step> initialSequence(const ir::Program& kernel,
+                                  const machines::Machine& m) {
+  auto h = heuristicPass(kernel, m);
+  std::vector<Step> steps;
+  for (const auto& s : h.steps()) steps.push_back({s.transform, s.loc});
+  return steps;
+}
+
+void randomSamplingHeuristic(const ir::Program& kernel,
+                             const machines::Machine& m,
+                             const SearchConfig& cfg, Tracker& tr) {
+  Rng rng(cfg.seed);
+  std::vector<SeqState> pool;
+  const double t0 = m.evaluate(kernel);
+  tr.record(kernel, t0);
+  pool.push_back({{}, t0, t0});
+  {
+    const auto seed_steps = initialSequence(kernel, m);
+    ir::Program prog;
+    double rt;
+    if (evalSequence(kernel, m, seed_steps, prog, rt)) {
+      tr.record(prog, rt);
+      pool.push_back({seed_steps, rt, t0});
+    }
+  }
+  while (!tr.exhausted()) {
+    std::vector<double> w;
+    w.reserve(pool.size());
+    for (const auto& e : pool) w.push_back(1.0 / e.parent_runtime);
+    const auto& parent = pool[rng.weightedIndex(w)];
+    std::vector<Step> cand;
+    if (!mutateSequence(kernel, m, rng, parent.steps, cfg.max_steps, cand))
+      continue;
+    ir::Program prog;
+    double rt;
+    if (!evalSequence(kernel, m, cand, prog, rt)) continue;
+    tr.record(prog, rt);
+    pool.push_back({std::move(cand), rt, parent.runtime});
+    if (pool.size() > 4096) pool.erase(pool.begin(), pool.begin() + 1024);
+  }
+}
+
+void annealingHeuristic(const ir::Program& kernel, const machines::Machine& m,
+                        const SearchConfig& cfg, Tracker& tr) {
+  Rng rng(cfg.seed);
+  std::vector<Step> cur;
+  double cur_rt = m.evaluate(kernel);
+  const double base_rt = cur_rt;
+  tr.record(kernel, cur_rt);
+  {
+    const auto seed_steps = initialSequence(kernel, m);
+    ir::Program prog;
+    double rt;
+    if (evalSequence(kernel, m, seed_steps, prog, rt)) {
+      tr.record(prog, rt);
+      if (rt < cur_rt) {
+        cur = seed_steps;
+        cur_rt = rt;
+      }
+    }
+  }
+  double temp = cfg.sa_t0;
+  while (!tr.exhausted()) {
+    std::vector<Step> cand;
+    if (!mutateSequence(kernel, m, rng, cur, cfg.max_steps, cand)) continue;
+    ir::Program prog;
+    double rt;
+    if (!evalSequence(kernel, m, cand, prog, rt)) continue;
+    tr.record(prog, rt);
+    const double delta = (rt - cur_rt) / base_rt;
+    if (delta <= 0 || rng.uniformReal() < std::exp(-delta / std::max(temp, 1e-6))) {
+      cur = std::move(cand);
+      cur_rt = rt;
+    }
+    temp *= cfg.sa_decay;
+  }
+}
+
+}  // namespace
+
+SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
+                       const SearchConfig& cfg) {
+  Tracker tr(cfg.budget);
+  tr.best = kernel;
+  if (cfg.structure == SpaceStructure::Edges) {
+    if (cfg.method == SearchMethod::RandomSampling)
+      randomSamplingEdges(kernel, m, cfg, tr);
+    else
+      annealingEdges(kernel, m, cfg, tr);
+  } else {
+    if (cfg.method == SearchMethod::RandomSampling)
+      randomSamplingHeuristic(kernel, m, cfg, tr);
+    else
+      annealingHeuristic(kernel, m, cfg, tr);
+  }
+  SearchResult r;
+  r.best = std::move(tr.best);
+  r.best_runtime = tr.best_runtime;
+  r.evals = tr.evals;
+  r.trace = std::move(tr.trace);
+  return r;
+}
+
+}  // namespace perfdojo::search

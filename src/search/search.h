@@ -1,0 +1,53 @@
+// Search over the transformation space (Section 4.2): two search-space
+// structures (edges-based vs heuristic-based) crossed with two methods
+// (cost-weighted global random sampling vs simulated annealing) — the four
+// configurations compared in Figure 12.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "machines/machine.h"
+#include "support/rng.h"
+#include "transform/history.h"
+
+namespace perfdojo::search {
+
+enum class SearchMethod { RandomSampling, SimulatedAnnealing };
+enum class SpaceStructure { Edges, Heuristic };
+
+const char* searchMethodName(SearchMethod m);
+const char* spaceStructureName(SpaceStructure s);
+
+struct SearchConfig {
+  SearchMethod method = SearchMethod::SimulatedAnnealing;
+  SpaceStructure structure = SpaceStructure::Heuristic;
+  int budget = 1000;       // program evaluations (the paper's 1000-eval cap)
+  int max_steps = 48;      // max transformation-sequence length
+  std::uint64_t seed = 1;
+  double sa_t0 = 0.6;      // initial acceptance temperature (relative)
+  double sa_decay = 0.995; // per-evaluation temperature decay
+};
+
+struct SearchResult {
+  ir::Program best;
+  double best_runtime = 0;
+  int evals = 0;
+  /// Best-so-far runtime after each evaluation (the convergence curves of
+  /// Figure 12).
+  std::vector<double> trace;
+};
+
+SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
+                       const SearchConfig& cfg);
+
+/// Expert action proposer used by the heuristic space structure: samples an
+/// applicable action with weights encoding hardware knowledge (prefer
+/// SSR/FREP on Snitch, vectorize/parallelize on CPU, grid/block on GPU, good
+/// tile sizes everywhere). Returns false if no action is applicable.
+bool suggestExpertAction(const ir::Program& p,
+                         const transform::MachineCaps& caps, Rng& rng,
+                         transform::Action& out);
+
+}  // namespace perfdojo::search

@@ -1,0 +1,56 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components (search, RL, input generation) take an explicit
+// Rng so experiments are reproducible bit-for-bit across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace perfdojo {
+
+/// xoshiro256** seeded via splitmix64. Not cryptographic; chosen for speed
+/// and statistical quality in Monte-Carlo style search loops.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t uniform(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double uniformReal();
+
+  /// Uniform double in [lo, hi).
+  double uniformReal(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  bool bernoulli(double p) { return uniformReal() < p; }
+
+  /// Index sampled proportionally to non-negative weights (sum must be > 0).
+  std::size_t weightedIndex(const std::vector<double>& weights);
+
+  template <typename T>
+  const T& choice(const std::vector<T>& v) {
+    return v[uniform(v.size())];
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace perfdojo

@@ -1,0 +1,51 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/common.h"
+
+namespace perfdojo {
+
+double mean(const std::vector<double>& xs) {
+  require(!xs.empty(), "mean: empty input");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(const std::vector<double>& xs) {
+  require(!xs.empty(), "geomean: empty input");
+  double s = 0.0;
+  for (double x : xs) {
+    require(x > 0.0, "geomean: all elements must be positive");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) {
+  require(!xs.empty(), "median: empty input");
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return (n % 2 == 1) ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double stddev(const std::vector<double>& xs) {
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double minOf(const std::vector<double>& xs) {
+  require(!xs.empty(), "minOf: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double maxOf(const std::vector<double>& xs) {
+  require(!xs.empty(), "maxOf: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace perfdojo

@@ -1,0 +1,21 @@
+// Small statistics helpers used throughout the evaluation harness.
+#pragma once
+
+#include <vector>
+
+namespace perfdojo {
+
+double mean(const std::vector<double>& xs);
+
+/// Geometric mean; every element must be > 0. This is the aggregate the paper
+/// reports for all cross-kernel speedups.
+double geomean(const std::vector<double>& xs);
+
+double median(std::vector<double> xs);
+
+double stddev(const std::vector<double>& xs);
+
+double minOf(const std::vector<double>& xs);
+double maxOf(const std::vector<double>& xs);
+
+}  // namespace perfdojo

@@ -1,0 +1,24 @@
+// String utilities used by the IR parser/printer and report generators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace perfdojo {
+
+std::vector<std::string> splitLines(const std::string& text);
+
+/// Split on any run of the given delimiter character; empty tokens dropped.
+std::vector<std::string> splitTokens(const std::string& s, char delim = ' ');
+
+std::string trim(const std::string& s);
+
+bool startsWith(const std::string& s, const std::string& prefix);
+bool endsWith(const std::string& s, const std::string& suffix);
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Formats a double compactly for report tables (e.g. "1.56x", "12.3").
+std::string fmt(double v, int precision = 3);
+
+}  // namespace perfdojo

@@ -1,0 +1,70 @@
+#include "support/table.h"
+
+#include <algorithm>
+
+#include "support/common.h"
+#include "support/strings.h"
+
+namespace perfdojo {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "Table::addRow: column count mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void Table::addRow(const std::string& label, const std::vector<double>& values,
+                   int precision) {
+  std::vector<std::string> row;
+  row.push_back(label);
+  for (double v : values) row.push_back(fmt(v, precision));
+  addRow(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+
+  std::string sep = "+";
+  for (std::size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + renderRow(header_) + sep;
+  for (const auto& row : rows_) out += renderRow(row);
+  out += sep;
+  return out;
+}
+
+std::string Table::barChart(
+    const std::vector<std::pair<std::string, double>>& bars,
+    const std::string& unit, int width) {
+  double maxv = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : bars) {
+    maxv = std::max(maxv, v);
+    label_w = std::max(label_w, label.size());
+  }
+  if (maxv <= 0.0) maxv = 1.0;
+  std::string out;
+  for (const auto& [label, v] : bars) {
+    const int n = static_cast<int>(v / maxv * width + 0.5);
+    out += label + std::string(label_w - label.size(), ' ') + " | " +
+           std::string(static_cast<std::size_t>(std::max(n, 0)), '#') + " " +
+           fmt(v, 4) + " " + unit + "\n";
+  }
+  return out;
+}
+
+}  // namespace perfdojo

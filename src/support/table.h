@@ -1,0 +1,31 @@
+// ASCII table renderer used by every figure/table reproduction bench so their
+// output is directly comparable to the paper's plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace perfdojo {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+  void addRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  std::string render() const;
+
+  /// Renders a simple horizontal bar chart (label, value) with the given
+  /// scale; used to echo the paper's bar figures in terminal output.
+  static std::string barChart(
+      const std::vector<std::pair<std::string, double>>& bars,
+      const std::string& unit, int width = 50);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace perfdojo

@@ -1,0 +1,191 @@
+// perfdojo — command-line driver over the whole stack.
+//
+//   perfdojo list                                  # kernels and machines
+//   perfdojo show      --kernel softmax            # textual IR
+//   perfdojo optimize  --kernel softmax --machine xeon \
+//                      --method heuristic|search|rl [--budget N] [--emit c|cuda|ir]
+//   perfdojo compare   --kernel softmax --machine xeon  # vs every baseline
+//   perfdojo libgen    --machine gh200 --out dir --method heuristic
+//
+// Exit status is non-zero on unknown kernels/machines/flags.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "baselines/baselines.h"
+#include "codegen/c_codegen.h"
+#include "ir/printer.h"
+#include "kernels/kernels.h"
+#include "libgen/libgen.h"
+#include "machines/machine.h"
+#include "rl/perfllm.h"
+#include "search/pass.h"
+#include "search/search.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+using namespace perfdojo;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string get(const std::string& key, const std::string& def = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    a.flags[key] = argv[i + 1];
+  }
+  return a;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perfdojo <list|show|optimize|compare|libgen> [flags]\n"
+               "  --kernel <label>    (see `perfdojo list`)\n"
+               "  --machine <name>    snitch | xeon | gh200 | mi300a\n"
+               "  --method <m>        heuristic | search | rl | naive | greedy\n"
+               "  --budget <n>        search evaluations / rl episodes\n"
+               "  --emit <fmt>        ir | c | cuda\n"
+               "  --out <dir>         libgen output directory\n");
+  return 2;
+}
+
+const kernels::KernelInfo* needKernel(const Args& a) {
+  const auto label = a.get("kernel");
+  const auto* k = kernels::findKernel(label);
+  if (!k) std::fprintf(stderr, "unknown kernel '%s'\n", label.c_str());
+  return k;
+}
+
+const machines::Machine* needMachine(const Args& a) {
+  const auto name = a.get("machine", "xeon");
+  const auto* m = machines::findMachine(name);
+  if (!m) std::fprintf(stderr, "unknown machine '%s'\n", name.c_str());
+  return m;
+}
+
+int cmdList() {
+  std::printf("machines: snitch xeon gh200 mi300a\n\nkernels:\n");
+  Table t({"label", "shape", "description"});
+  for (const auto* cat :
+       {&kernels::table3(), &kernels::snitchMicro(), &kernels::x86Uncommon()})
+    for (const auto& k : *cat) t.addRow({k.label, k.shape, k.description});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmdShow(const Args& a) {
+  const auto* k = needKernel(a);
+  if (!k) return 2;
+  std::printf("%s", ir::printProgram(k->build()).c_str());
+  return 0;
+}
+
+int emitProgram(const ir::Program& p, const std::string& fmt) {
+  if (fmt == "ir") std::printf("%s", ir::printProgram(p).c_str());
+  else if (fmt == "c") std::printf("%s", codegen::generateC(p).c_str());
+  else if (fmt == "cuda") std::printf("%s", codegen::generateCuda(p).c_str());
+  else {
+    std::fprintf(stderr, "unknown emit format\n");
+    return 2;
+  }
+  return 0;
+}
+
+int cmdOptimize(const Args& a) {
+  const auto* k = needKernel(a);
+  const auto* m = needMachine(a);
+  if (!k || !m) return 2;
+  const auto method = a.get("method", "heuristic");
+  const int budget = std::atoi(a.get("budget", "300").c_str());
+  const ir::Program base = k->build();
+  ir::Program tuned = base;
+  std::int64_t evals = 1;
+  if (method == "naive") tuned = search::naivePass(base, *m).current();
+  else if (method == "greedy") tuned = search::greedyPass(base, *m).current();
+  else if (method == "heuristic") tuned = search::heuristicPass(base, *m).current();
+  else if (method == "search") {
+    search::SearchConfig sc;
+    sc.budget = budget;
+    const auto r = search::runSearch(base, *m, sc);
+    tuned = r.best;
+    evals = r.evals;
+  } else if (method == "rl") {
+    rl::PerfLLMConfig rc;
+    rc.episodes = budget > 0 ? budget : 60;
+    const auto r = rl::optimizeKernel(base, *m, rc);
+    tuned = r.best;
+    evals = r.evals;
+  } else {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "%s on %s via %s: %.4g s -> %.4g s (%.2fx, %lld evals)\n",
+               k->label.c_str(), m->name().c_str(), method.c_str(),
+               m->evaluate(base), m->evaluate(tuned),
+               m->evaluate(base) / m->evaluate(tuned),
+               static_cast<long long>(evals));
+  return emitProgram(tuned, a.get("emit", "ir"));
+}
+
+int cmdCompare(const Args& a) {
+  const auto* k = needKernel(a);
+  const auto* m = needMachine(a);
+  if (!k || !m) return 2;
+  const ir::Program base = k->build();
+  Table t({"implementation", "runtime [s]", "note"});
+  t.addRow({"reference loops", fmt(m->evaluate(base), 4), ""});
+  t.addRow({"perfdojo heuristic",
+            fmt(m->evaluate(search::heuristicPass(base, *m).current()), 4), ""});
+  for (auto f : baselines::frameworksFor(*m)) {
+    const auto r = baselines::evaluateBaseline(f, base, *m, 200);
+    t.addRow({baselines::frameworkName(f),
+              r.runtime > 0 ? fmt(r.runtime, 4) : std::string("n/a"), r.note});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmdLibgen(const Args& a) {
+  const auto* m = needMachine(a);
+  if (!m) return 2;
+  const auto dir = a.get("out", "perfdojo_lib");
+  libgen::LibGenConfig cfg;
+  const auto method = a.get("method", "heuristic");
+  if (method == "search") cfg.optimizer = libgen::Optimizer::Search;
+  else if (method == "rl") cfg.optimizer = libgen::Optimizer::PerfLLM;
+  else if (method == "none") cfg.optimizer = libgen::Optimizer::None;
+  const auto lib = libgen::generateLibrary(kernels::table3(), *m, cfg);
+  const auto files = libgen::writeLibrary(lib, dir);
+  for (const auto& f : files) std::printf("wrote %s\n", f.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  try {
+    if (a.command == "list") return cmdList();
+    if (a.command == "show") return cmdShow(a);
+    if (a.command == "optimize") return cmdOptimize(a);
+    if (a.command == "compare") return cmdCompare(a);
+    if (a.command == "libgen") return cmdLibgen(a);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

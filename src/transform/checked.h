@@ -1,0 +1,31 @@
+// Internal scaffolding for transformation implementations: apply() always
+// revalidates through isApplicable(), so stale or forged Locations can never
+// yield a semantically different program.
+#pragma once
+
+#include "ir/program.h"
+#include "support/common.h"
+#include "transform/transform.h"
+
+namespace perfdojo::transform {
+
+class CheckedTransform : public Transform {
+ public:
+  ir::Program apply(const ir::Program& p, const Location& loc) const final {
+    require(isApplicable(p, loc),
+            name() + ": location not applicable to this program");
+    ir::Program q = p;
+    applyChecked(q, loc);
+    q.validate();
+    return q;
+  }
+
+  /// Semantic + structural legality of applying at `loc` (capability gating,
+  /// e.g. vector widths, happens only in findApplicable enumeration).
+  virtual bool isApplicable(const ir::Program& p, const Location& loc) const = 0;
+
+ protected:
+  virtual void applyChecked(ir::Program& q, const Location& loc) const = 0;
+};
+
+}  // namespace perfdojo::transform

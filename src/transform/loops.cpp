@@ -1,0 +1,331 @@
+// Loop-structure transformations: split (tiling), collapse, interchange,
+// fusion (join_scopes), fission, and sibling reordering.
+#include <algorithm>
+#include <set>
+
+#include "ir/walk.h"
+#include "support/common.h"
+#include "transform/checked.h"
+#include "transform/deps.h"
+#include "transform/transform.h"
+
+namespace perfdojo::transform {
+
+using ir::IndexExpr;
+using ir::LoopAnno;
+using ir::Node;
+using ir::NodeId;
+using ir::Program;
+
+namespace {
+
+void substituteInChildren(std::vector<Node>& children, NodeId from,
+                          const IndexExpr& repl) {
+  for (auto& c : children) ir::substituteIter(c, from, repl);
+}
+
+// ---------------------------------------------------------------------------
+
+class SplitScope final : public CheckedTransform {
+ public:
+  std::string name() const override { return "split_scope"; }
+
+  bool isApplicable(const Program& p, const Location& loc) const override {
+    const Node* s = ir::findNode(p.root, loc.node);
+    if (!s || !s->isScope() || s->id == p.root.id) return false;
+    if (s->anno != LoopAnno::None) return false;
+    const std::int64_t f = loc.param;
+    return f >= 2 && f < s->extent && s->extent % f == 0;
+  }
+
+  std::vector<Location> findApplicable(const Program& p,
+                                       const MachineCaps& caps) const override {
+    std::vector<Location> out;
+    std::set<std::int64_t> factors(caps.split_factors.begin(),
+                                   caps.split_factors.end());
+    for (std::int64_t w : caps.vector_widths) factors.insert(w);
+    if (caps.is_gpu) factors.insert(caps.warp_size);
+    for (const Node* s : ir::collectScopes(p.root)) {
+      if (s->anno != LoopAnno::None) continue;
+      for (std::int64_t f : factors) {
+        Location loc;
+        loc.node = s->id;
+        loc.param = f;
+        if (isApplicable(p, loc)) out.push_back(loc);
+      }
+    }
+    return out;
+  }
+
+ protected:
+  void applyChecked(Program& q, const Location& loc) const override {
+    Node* s = ir::findNode(q.root, loc.node);
+    const std::int64_t f = loc.param;
+    const NodeId inner_id = q.freshId();
+    // iter(s) -> iter(s) * f + iter(inner); the node `s` keeps its id and
+    // becomes the outer loop of extent N/f.
+    const IndexExpr repl = IndexExpr::add(
+        IndexExpr::mul(IndexExpr::iter(s->id), IndexExpr::constant(f)),
+        IndexExpr::iter(inner_id));
+    substituteInChildren(s->children, s->id, repl);
+    Node inner = Node::scope(inner_id, f);
+    inner.children = std::move(s->children);
+    s->children.clear();
+    s->children.push_back(std::move(inner));
+    s->extent /= f;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class CollapseScopes final : public CheckedTransform {
+ public:
+  std::string name() const override { return "collapse_scopes"; }
+
+  bool isApplicable(const Program& p, const Location& loc) const override {
+    const Node* s = ir::findNode(p.root, loc.node);
+    if (!s || !s->isScope() || s->id == p.root.id) return false;
+    if (s->anno != LoopAnno::None) return false;
+    if (s->children.size() != 1 || !s->children[0].isScope()) return false;
+    return s->children[0].anno == LoopAnno::None;
+  }
+
+  std::vector<Location> findApplicable(const Program& p,
+                                       const MachineCaps&) const override {
+    std::vector<Location> out;
+    for (const Node* s : ir::collectScopes(p.root)) {
+      Location loc;
+      loc.node = s->id;
+      if (isApplicable(p, loc)) out.push_back(loc);
+    }
+    return out;
+  }
+
+ protected:
+  void applyChecked(Program& q, const Location& loc) const override {
+    Node* outer = ir::findNode(q.root, loc.node);
+    Node inner = std::move(outer->children[0]);
+    const std::int64_t ni = inner.extent;
+    const NodeId merged_id = q.freshId();
+    // iter(outer) -> merged / ni ; iter(inner) -> merged % ni.
+    substituteInChildren(
+        inner.children, outer->id,
+        IndexExpr::div(IndexExpr::iter(merged_id), IndexExpr::constant(ni)));
+    substituteInChildren(
+        inner.children, inner.id,
+        IndexExpr::mod(IndexExpr::iter(merged_id), IndexExpr::constant(ni)));
+    outer->extent *= ni;
+    outer->id = merged_id;
+    outer->children = std::move(inner.children);
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class InterchangeScopes final : public CheckedTransform {
+ public:
+  std::string name() const override { return "interchange_scopes"; }
+
+  bool isApplicable(const Program& p, const Location& loc) const override {
+    const Node* outer = ir::findNode(p.root, loc.node);
+    if (!outer || !outer->isScope() || outer->id == p.root.id) return false;
+    if (outer->anno != LoopAnno::None) return false;
+    if (outer->children.size() != 1 || !outer->children[0].isScope()) return false;
+    const Node& inner = outer->children[0];
+    if (inner.anno != LoopAnno::None) return false;
+    return interchangeLegal(p, *outer, inner);
+  }
+
+  std::vector<Location> findApplicable(const Program& p,
+                                       const MachineCaps&) const override {
+    std::vector<Location> out;
+    for (const Node* s : ir::collectScopes(p.root)) {
+      Location loc;
+      loc.node = s->id;
+      if (isApplicable(p, loc)) out.push_back(loc);
+    }
+    return out;
+  }
+
+ protected:
+  void applyChecked(Program& q, const Location& loc) const override {
+    Node* outer = ir::findNode(q.root, loc.node);
+    Node& inner = outer->children[0];
+    // Swapping (id, extent, anno) between the two nests swaps the loops:
+    // iterator references bind to ids, so the body is untouched.
+    std::swap(outer->id, inner.id);
+    std::swap(outer->extent, inner.extent);
+    std::swap(outer->anno, inner.anno);
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class JoinScopes final : public CheckedTransform {
+ public:
+  std::string name() const override { return "join_scopes"; }
+
+  bool isApplicable(const Program& p, const Location& loc) const override {
+    const Node* parent = ir::findParent(p.root, loc.node);
+    if (!parent) return false;
+    const int i = ir::childIndex(*parent, loc.node);
+    if (i < 0 || i + 1 >= static_cast<int>(parent->children.size())) return false;
+    const Node& s = parent->children[static_cast<std::size_t>(i)];
+    const Node& t = parent->children[static_cast<std::size_t>(i) + 1];
+    if (!s.isScope() || !t.isScope()) return false;
+    if (s.extent != t.extent) return false;
+    if (s.anno != LoopAnno::None || t.anno != LoopAnno::None) return false;
+    return fusionLegal(p, s.children, s.id, t.children, t.id);
+  }
+
+  std::vector<Location> findApplicable(const Program& p,
+                                       const MachineCaps&) const override {
+    std::vector<Location> out;
+    for (const Node* s : ir::collectScopes(p.root)) {
+      Location loc;
+      loc.node = s->id;
+      if (isApplicable(p, loc)) out.push_back(loc);
+    }
+    return out;
+  }
+
+ protected:
+  void applyChecked(Program& q, const Location& loc) const override {
+    Node* parent = ir::findParent(q.root, loc.node);
+    const int i = ir::childIndex(*parent, loc.node);
+    Node& s = parent->children[static_cast<std::size_t>(i)];
+    Node t = std::move(parent->children[static_cast<std::size_t>(i) + 1]);
+    parent->children.erase(parent->children.begin() + i + 1);
+    substituteInChildren(t.children, t.id, IndexExpr::iter(s.id));
+    for (auto& c : t.children) s.children.push_back(std::move(c));
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class FissionScope final : public CheckedTransform {
+ public:
+  std::string name() const override { return "fission_scope"; }
+
+  bool isApplicable(const Program& p, const Location& loc) const override {
+    const Node* s = ir::findNode(p.root, loc.node);
+    if (!s || !s->isScope() || s->id == p.root.id) return false;
+    if (s->anno != LoopAnno::None) return false;
+    const std::int64_t cut = loc.param;
+    if (cut < 1 || cut >= static_cast<std::int64_t>(s->children.size()))
+      return false;
+    std::vector<Node> a(s->children.begin(), s->children.begin() + cut);
+    std::vector<Node> b(s->children.begin() + cut, s->children.end());
+    // Fission is legal iff the two halves could be legally fused back.
+    return fusionLegal(p, a, s->id, b, s->id);
+  }
+
+  std::vector<Location> findApplicable(const Program& p,
+                                       const MachineCaps&) const override {
+    std::vector<Location> out;
+    for (const Node* s : ir::collectScopes(p.root)) {
+      for (std::size_t cut = 1; cut < s->children.size(); ++cut) {
+        Location loc;
+        loc.node = s->id;
+        loc.param = static_cast<std::int64_t>(cut);
+        if (isApplicable(p, loc)) out.push_back(loc);
+      }
+    }
+    return out;
+  }
+
+ protected:
+  void applyChecked(Program& q, const Location& loc) const override {
+    Node* s = ir::findNode(q.root, loc.node);
+    const auto cut = static_cast<std::size_t>(loc.param);
+    Node t = Node::scope(q.freshId(), s->extent);
+    t.children.assign(std::make_move_iterator(s->children.begin() + static_cast<std::ptrdiff_t>(cut)),
+                      std::make_move_iterator(s->children.end()));
+    s->children.resize(cut);
+    substituteInChildren(t.children, s->id, IndexExpr::iter(t.id));
+    Node* parent = ir::findParent(q.root, loc.node);
+    const int i = ir::childIndex(*parent, loc.node);
+    parent->children.insert(parent->children.begin() + i + 1, std::move(t));
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class ReorderOps final : public CheckedTransform {
+ public:
+  std::string name() const override { return "reorder_ops"; }
+
+  bool isApplicable(const Program& p, const Location& loc) const override {
+    const Node* parent = ir::findParent(p.root, loc.node);
+    if (!parent) return false;
+    const int i = ir::childIndex(*parent, loc.node);
+    if (i < 0 || i + 1 >= static_cast<int>(parent->children.size())) return false;
+    const Node& a = parent->children[static_cast<std::size_t>(i)];
+    const Node& b = parent->children[static_cast<std::size_t>(i) + 1];
+    // Entire subtrees must be independent: no write of one may alias any
+    // access of the other.
+    const auto as = collectOpInfos(a);
+    const auto bs = collectOpInfos(b);
+    for (const auto& oa : as) {
+      for (const auto& ob : bs) {
+        if (mayAlias(p, oa.write, ob.write)) return false;
+        for (const auto& r : ob.reads)
+          if (mayAlias(p, oa.write, r)) return false;
+        for (const auto& r : oa.reads)
+          if (mayAlias(p, ob.write, r)) return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<Location> findApplicable(const Program& p,
+                                       const MachineCaps&) const override {
+    std::vector<Location> out;
+    ir::visit(p.root, [&](const Node& parent) {
+      if (!parent.isScope()) return;
+      for (std::size_t i = 0; i + 1 < parent.children.size(); ++i) {
+        Location loc;
+        loc.node = parent.children[i].id;
+        if (isApplicable(p, loc)) out.push_back(loc);
+      }
+    });
+    return out;
+  }
+
+ protected:
+  void applyChecked(Program& q, const Location& loc) const override {
+    Node* parent = ir::findParent(q.root, loc.node);
+    const int i = ir::childIndex(*parent, loc.node);
+    std::swap(parent->children[static_cast<std::size_t>(i)],
+              parent->children[static_cast<std::size_t>(i) + 1]);
+  }
+};
+
+}  // namespace
+
+const Transform& splitScope() {
+  static const SplitScope t;
+  return t;
+}
+const Transform& collapseScopes() {
+  static const CollapseScopes t;
+  return t;
+}
+const Transform& interchangeScopes() {
+  static const InterchangeScopes t;
+  return t;
+}
+const Transform& joinScopes() {
+  static const JoinScopes t;
+  return t;
+}
+const Transform& fissionScope() {
+  static const FissionScope t;
+  return t;
+}
+const Transform& reorderOps() {
+  static const ReorderOps t;
+  return t;
+}
+
+}  // namespace perfdojo::transform

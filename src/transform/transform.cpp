@@ -1,0 +1,62 @@
+#include "transform/transform.h"
+
+#include "ir/walk.h"
+#include "support/common.h"
+
+namespace perfdojo::transform {
+
+std::string Transform::describe(const ir::Program& p, const Location& loc) const {
+  std::string s = name() + "(";
+  bool first = true;
+  auto field = [&](const std::string& f) {
+    if (!first) s += ", ";
+    s += f;
+    first = false;
+  };
+  if (loc.node != ir::kInvalidNode) {
+    std::string f = "@" + std::to_string(loc.node);
+    if (const ir::Node* n = ir::findNode(p.root, loc.node)) {
+      if (n->isScope())
+        f += "[extent=" + std::to_string(n->extent) + "]";
+      else
+        f += "[op=" + std::string(ir::opName(n->op)) + "->" + n->out.array + "]";
+    }
+    field(f);
+  }
+  if (!loc.buffer.empty()) field("buffer=" + loc.buffer);
+  if (loc.dim >= 0) field("dim=" + std::to_string(loc.dim));
+  if (loc.dim2 >= 0) field("dim2=" + std::to_string(loc.dim2));
+  if (loc.param != 0) field("param=" + std::to_string(loc.param));
+  if (loc.space != ir::MemSpace::Heap) field(std::string("space=") + ir::memSpaceName(loc.space));
+  return s + ")";
+}
+
+const std::vector<const Transform*>& allTransforms() {
+  static const std::vector<const Transform*> all = {
+      &splitScope(),    &collapseScopes(), &interchangeScopes(),
+      &joinScopes(),    &fissionScope(),   &reorderOps(),
+      &partialReduce(),
+      &unroll(),        &vectorize(),      &parallelize(),
+      &gpuMapGrid(),    &gpuMapBlock(),    &gpuMapWarp(),
+      &ssrStream(),     &frep(),           &reuseDims(),
+      &materializeDims(), &reorderDims(),  &padDim(),
+      &setStorage(),
+  };
+  return all;
+}
+
+const Transform* findTransform(const std::string& name) {
+  for (const Transform* t : allTransforms())
+    if (t->name() == name) return t;
+  return nullptr;
+}
+
+std::vector<Action> allActions(const ir::Program& p, const MachineCaps& caps) {
+  std::vector<Action> actions;
+  for (const Transform* t : allTransforms()) {
+    for (auto& loc : t->findApplicable(p, caps)) actions.push_back({t, loc});
+  }
+  return actions;
+}
+
+}  // namespace perfdojo::transform

@@ -1,0 +1,94 @@
+#include "verify/verifier.h"
+
+#include <cmath>
+
+#include "interp/interpreter.h"
+#include "support/common.h"
+
+namespace perfdojo::verify {
+
+namespace {
+
+/// Iterates over every logical index of `shape`, invoking fn(idx).
+template <typename Fn>
+void forEachIndex(const std::vector<std::int64_t>& shape, Fn&& fn) {
+  std::vector<std::int64_t> idx(shape.size(), 0);
+  while (true) {
+    fn(idx);
+    std::size_t d = shape.size();
+    while (d > 0) {
+      --d;
+      if (++idx[d] < shape[d]) break;
+      idx[d] = 0;
+      if (d == 0) return;
+    }
+    if (shape.empty()) return;
+  }
+}
+
+}  // namespace
+
+VerifyResult verifyEquivalent(const ir::Program& original,
+                              const ir::Program& transformed,
+                              const VerifyOptions& opts) {
+  VerifyResult res;
+  require(original.inputs == transformed.inputs,
+          "verify: programs declare different inputs");
+  require(original.outputs == transformed.outputs,
+          "verify: programs declare different outputs");
+
+  for (int trial = 0; trial < opts.trials && res.equivalent; ++trial) {
+    interp::Memory ma(original);
+    interp::Memory mb(transformed);
+    Rng rng(opts.seed + static_cast<std::uint64_t>(trial) * 0x9e3779b9ull);
+    // Fill inputs of the original, then copy the identical bits into the
+    // transformed program's memory (external layouts are guaranteed equal).
+    ma.randomizeInputs(original, rng);
+    for (const auto& in : original.inputs) {
+      const ir::Buffer* ba = original.bufferOfArray(in);
+      const ir::Buffer* bb = transformed.bufferOfArray(in);
+      require(ba && bb, "verify: missing input buffer");
+      require(ba->shape == bb->shape,
+              "verify: input '" + in + "' shape mismatch");
+      mb.byArray(in).data() = ma.byArray(in).data();
+    }
+
+    interp::execute(original, ma);
+    interp::execute(transformed, mb);
+
+    for (const auto& out : original.outputs) {
+      const ir::Buffer* ba = original.bufferOfArray(out);
+      const ir::Buffer* bb = transformed.bufferOfArray(out);
+      require(ba && bb && ba->shape == bb->shape,
+              "verify: output '" + out + "' shape mismatch");
+      const auto& ta = ma.byArray(out);
+      const auto& tb = mb.byArray(out);
+      forEachIndex(ba->shape, [&](const std::vector<std::int64_t>& idx) {
+        if (!res.equivalent) return;
+        const double a = ta.at(idx);
+        const double b = tb.at(idx);
+        const double abs_err = std::fabs(a - b);
+        const double rel_err = abs_err / std::max(std::fabs(a), 1e-30);
+        res.max_abs_err = std::max(res.max_abs_err, abs_err);
+        res.max_rel_err = std::max(res.max_rel_err, rel_err);
+        const bool ok = abs_err <= opts.abs_tol || rel_err <= opts.rel_tol ||
+                        (std::isnan(a) && std::isnan(b));
+        if (!ok) {
+          res.equivalent = false;
+          std::string where = out + "[";
+          for (std::size_t i = 0; i < idx.size(); ++i) {
+            if (i) where += ",";
+            where += std::to_string(idx[i]);
+          }
+          where += "]";
+          res.detail = "mismatch at " + where + ": original=" +
+                       std::to_string(a) + " transformed=" + std::to_string(b);
+        }
+      });
+      if (!res.equivalent) break;
+    }
+  }
+  return res;
+}
+
+}  // namespace perfdojo::verify

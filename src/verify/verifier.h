@@ -1,0 +1,36 @@
+// Numerical semantic-equivalence verification.
+//
+// The paper empirically validates every transformation's applicability rules
+// by comparing the transformed program's outputs against the original on
+// random inputs (Section 2.2). This module is that oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/program.h"
+
+namespace perfdojo::verify {
+
+struct VerifyOptions {
+  std::uint64_t seed = 42;
+  int trials = 2;          // distinct random input sets
+  double rel_tol = 1e-6;   // tolerance for reassociation effects
+  double abs_tol = 1e-9;
+};
+
+struct VerifyResult {
+  bool equivalent = true;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::string detail;  // first failing output / element on mismatch
+};
+
+/// Runs both programs on identical random inputs and compares every output
+/// array element-wise. Programs must declare the same inputs/outputs with the
+/// same logical shapes (layout / materialization may differ).
+VerifyResult verifyEquivalent(const ir::Program& original,
+                              const ir::Program& transformed,
+                              const VerifyOptions& opts = {});
+
+}  // namespace perfdojo::verify

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "dojo/dojo.h"
+#include "ir/canonical.h"
+#include "kernels/kernels.h"
+#include "machines/machine.h"
+#include "support/rng.h"
+
+namespace perfdojo::dojo {
+namespace {
+
+TEST(Dojo, MovesAreNonEmptyOnFreshKernel) {
+  Dojo d(kernels::makeSoftmax(4, 8), machines::xeon());
+  EXPECT_FALSE(d.moves().empty());
+  EXPECT_GT(d.runtime(), 0.0);
+  EXPECT_DOUBLE_EQ(d.bestRuntime(), d.runtime());
+}
+
+TEST(Dojo, PlayUpdatesRuntimeAndBest) {
+  DojoOptions opts;
+  opts.verify_moves = true;  // paper-style empirical validation per move
+  Dojo d(kernels::makeSoftmax(4, 8), machines::xeon(), opts);
+  Rng rng(3);
+  double best = d.bestRuntime();
+  for (int i = 0; i < 10; ++i) {
+    auto moves = d.moves();
+    ASSERT_FALSE(moves.empty());
+    d.play(moves[rng.uniform(moves.size())]);
+    EXPECT_LE(d.bestRuntime(), best + 1e-18);
+    best = d.bestRuntime();
+  }
+  EXPECT_EQ(d.steps(), 10u);
+}
+
+TEST(Dojo, UndoKeepsBest) {
+  Dojo d(kernels::makeReduceMean(8, 16), machines::xeon());
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    auto moves = d.moves();
+    d.play(moves[rng.uniform(moves.size())]);
+  }
+  const double best = d.bestRuntime();
+  const std::string before_undo = ir::canonicalText(d.bestProgram());
+  d.undo();
+  d.undo();
+  EXPECT_EQ(d.steps(), 3u);
+  EXPECT_DOUBLE_EQ(d.bestRuntime(), best);
+  EXPECT_EQ(ir::canonicalText(d.bestProgram()), before_undo);
+}
+
+TEST(Dojo, RewardIsScaledInverseRuntime) {
+  DojoOptions opts;
+  opts.reward_scale = 2e-6;
+  Dojo d(kernels::makeAdd(8, 8), machines::xeon(), opts);
+  EXPECT_DOUBLE_EQ(d.reward(), 2e-6 / d.runtime());
+}
+
+TEST(Dojo, GpuGameReachesFasterStates) {
+  Dojo d(kernels::makeAdd(1024, 1024), machines::xeon());
+  const double t0 = d.runtime();
+  // Greedily take the best immediate move a few times.
+  for (int i = 0; i < 6; ++i) {
+    auto moves = d.moves();
+    if (moves.empty()) break;
+    double best_rt = d.runtime();
+    int best_i = -1;
+    for (std::size_t j = 0; j < moves.size(); ++j) {
+      const auto q = moves[j].apply(d.program());
+      const double rt = d.machine().evaluate(q);
+      if (rt < best_rt) {
+        best_rt = rt;
+        best_i = static_cast<int>(j);
+      }
+    }
+    if (best_i < 0) break;
+    d.play(moves[static_cast<std::size_t>(best_i)]);
+  }
+  EXPECT_LT(d.bestRuntime(), t0);
+}
+
+}  // namespace
+}  // namespace perfdojo::dojo

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "ir/canonical.h"
+#include "kernels/kernels.h"
+#include "machines/machine.h"
+#include "search/graph.h"
+
+namespace perfdojo::search {
+namespace {
+
+TEST(TransformationGraph, ExpandsAndDeduplicates) {
+  const auto p = kernels::makeAdd(8, 16);
+  TransformationGraph g(p, machines::xeon(), /*max_depth=*/2, /*max_nodes=*/200);
+  EXPECT_GT(g.nodeCount(), 5u);
+  EXPECT_GE(g.edgeCount(), g.nodeCount() - 1);
+  // Dedup: edges may exceed nodes because different paths reach the same
+  // canonical program (the graph, not a tree).
+  EXPECT_EQ(g.root().hash, ir::canonicalHash(p));
+  EXPECT_EQ(g.root().depth, 0);
+}
+
+TEST(TransformationGraph, BestIsNoWorseThanRoot) {
+  const auto p = kernels::makeReduceMean(64, 128);
+  TransformationGraph g(p, machines::xeon(), 2, 300);
+  EXPECT_LE(g.best().runtime, g.root().runtime);
+}
+
+TEST(TransformationGraph, PathToBestReplays) {
+  const auto p = kernels::makeAdd(64, 128);
+  TransformationGraph g(p, machines::xeon(), 2, 300);
+  const auto path = g.pathTo(g.best().hash);
+  EXPECT_LE(path.size(), 2u);
+  if (g.best().hash != g.root().hash) EXPECT_FALSE(path.empty());
+}
+
+TEST(TransformationGraph, DotRendering) {
+  const auto p = kernels::makeMul(8, 16);
+  TransformationGraph g(p, machines::xeon(), 1, 50);
+  const std::string dot = g.toDot();
+  EXPECT_NE(dot.find("digraph perfdojo"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("palegreen"), std::string::npos);
+}
+
+TEST(TransformationGraph, NodeCapRespected) {
+  const auto p = kernels::makeSoftmax(8, 16);
+  TransformationGraph g(p, machines::xeon(), 3, 40);
+  EXPECT_LE(g.nodeCount(), 40u);
+}
+
+TEST(TransformationGraph, FindByHash) {
+  const auto p = kernels::makeMul(8, 16);
+  TransformationGraph g(p, machines::xeon(), 1, 50);
+  EXPECT_NE(g.find(g.root().hash), nullptr);
+  EXPECT_EQ(g.find(12345), nullptr);
+}
+
+}  // namespace
+}  // namespace perfdojo::search

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "ir/index_expr.h"
+#include "support/common.h"
+
+namespace perfdojo::ir {
+namespace {
+
+TEST(IndexExpr, EvalArithmetic) {
+  auto e = IndexExpr::add(
+      IndexExpr::mul(IndexExpr::iter(1), IndexExpr::constant(4)),
+      IndexExpr::iter(2));
+  auto lookup = [](NodeId id) -> std::int64_t { return id == 1 ? 3 : 2; };
+  EXPECT_EQ(e.eval(lookup), 14);
+}
+
+TEST(IndexExpr, EvalDivMod) {
+  auto e = IndexExpr::div(IndexExpr::iter(1), IndexExpr::constant(4));
+  auto m = IndexExpr::mod(IndexExpr::iter(1), IndexExpr::constant(4));
+  auto lookup = [](NodeId) -> std::int64_t { return 13; };
+  EXPECT_EQ(e.eval(lookup), 3);
+  EXPECT_EQ(m.eval(lookup), 1);
+}
+
+TEST(IndexExpr, SimplifyIdentities) {
+  auto x = IndexExpr::iter(1);
+  EXPECT_TRUE(IndexExpr::mul(x, IndexExpr::constant(1)).simplified() == x);
+  EXPECT_TRUE(IndexExpr::add(x, IndexExpr::constant(0)).simplified() == x);
+  EXPECT_TRUE(IndexExpr::mul(x, IndexExpr::constant(0)).simplified() ==
+              IndexExpr::constant(0));
+  EXPECT_TRUE(IndexExpr::add(IndexExpr::constant(2), IndexExpr::constant(3))
+                  .simplified() == IndexExpr::constant(5));
+}
+
+TEST(IndexExpr, Substitute) {
+  auto e = IndexExpr::add(IndexExpr::iter(1), IndexExpr::iter(2));
+  auto r = e.substitute(1, IndexExpr::constant(7));
+  auto lookup = [](NodeId) -> std::int64_t { return 5; };
+  EXPECT_EQ(r.eval(lookup), 12);
+}
+
+TEST(IndexExpr, SubstituteSinglePass) {
+  // iter(1) -> iter(1)*4 + iter(2) must not recurse into its own result.
+  auto repl = IndexExpr::add(
+      IndexExpr::mul(IndexExpr::iter(1), IndexExpr::constant(4)),
+      IndexExpr::iter(2));
+  auto r = IndexExpr::iter(1).substitute(1, repl);
+  auto lookup = [](NodeId id) -> std::int64_t { return id == 1 ? 2 : 3; };
+  EXPECT_EQ(r.eval(lookup), 11);
+}
+
+TEST(IndexExpr, CollectIters) {
+  auto e = IndexExpr::add(IndexExpr::iter(3),
+                          IndexExpr::mul(IndexExpr::iter(3), IndexExpr::iter(5)));
+  std::vector<NodeId> its;
+  e.collectIters(its);
+  EXPECT_EQ(its.size(), 2u);
+  EXPECT_TRUE(e.usesIter(3));
+  EXPECT_TRUE(e.usesIter(5));
+  EXPECT_FALSE(e.usesIter(4));
+}
+
+TEST(IndexExpr, AffineDecomposition) {
+  // 2*i + j + 5
+  auto e = IndexExpr::add(
+      IndexExpr::add(IndexExpr::mul(IndexExpr::constant(2), IndexExpr::iter(1)),
+                     IndexExpr::iter(2)),
+      IndexExpr::constant(5));
+  std::vector<IndexExpr::AffineTerm> terms;
+  std::int64_t off = 0;
+  ASSERT_TRUE(e.asAffine(terms, off));
+  EXPECT_EQ(off, 5);
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0].coef, 2);
+  EXPECT_EQ(terms[1].coef, 1);
+}
+
+TEST(IndexExpr, AffineRejectsDivMod) {
+  auto e = IndexExpr::div(IndexExpr::iter(1), IndexExpr::constant(2));
+  std::vector<IndexExpr::AffineTerm> terms;
+  std::int64_t off = 0;
+  EXPECT_FALSE(e.asAffine(terms, off));
+}
+
+TEST(IndexExpr, AffineSubtraction) {
+  // i - j : coef(i)=1, coef(j)=-1
+  auto e = IndexExpr::sub(IndexExpr::iter(1), IndexExpr::iter(2));
+  std::vector<IndexExpr::AffineTerm> terms;
+  std::int64_t off = 0;
+  ASSERT_TRUE(e.asAffine(terms, off));
+  EXPECT_EQ(terms[0].coef, 1);
+  EXPECT_EQ(terms[1].coef, -1);
+}
+
+TEST(IndexExpr, Equality) {
+  auto a = IndexExpr::add(IndexExpr::iter(1), IndexExpr::constant(2));
+  auto b = IndexExpr::add(IndexExpr::iter(1), IndexExpr::constant(2));
+  auto c = IndexExpr::add(IndexExpr::iter(1), IndexExpr::constant(3));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(IndexExpr, InvalidAccessThrows) {
+  EXPECT_THROW(IndexExpr::constant(1).iterScope(), Error);
+  EXPECT_THROW(IndexExpr::iter(1).constValue(), Error);
+  EXPECT_THROW(IndexExpr::iter(0), Error);
+}
+
+}  // namespace
+}  // namespace perfdojo::ir

@@ -1,0 +1,134 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "kernels/kernels.h"
+
+namespace perfdojo::interp {
+namespace {
+
+using ir::Builder;
+using ir::DType;
+using ir::OpCode;
+
+TEST(Tensor, StridesAndBounds) {
+  Tensor t({3, 4}, {true, true});
+  t.set({2, 3}, 7.0);
+  EXPECT_EQ(t.at({2, 3}), 7.0);
+  EXPECT_EQ(t.data().size(), 12u);
+  EXPECT_THROW(t.at({3, 0}), Error);
+}
+
+TEST(Tensor, ReusedDimCollapses) {
+  Tensor t({10, 4}, {false, true});
+  EXPECT_EQ(t.data().size(), 4u);
+  t.set({0, 1}, 5.0);
+  // Every first-dim index maps to the same storage.
+  EXPECT_EQ(t.at({7, 1}), 5.0);
+}
+
+TEST(Interpreter, ElementwiseAdd) {
+  auto p = kernels::makeAdd(2, 3);
+  Memory mem(p);
+  auto& x = mem.byArray("x");
+  auto& y = mem.byArray("y");
+  for (std::int64_t i = 0; i < 2; ++i)
+    for (std::int64_t j = 0; j < 3; ++j) {
+      x.set({i, j}, static_cast<double>(i + j));
+      y.set({i, j}, 10.0);
+    }
+  const auto stats = execute(p, mem);
+  EXPECT_EQ(stats.flops, 6);
+  EXPECT_EQ(stats.stores, 6);
+  for (std::int64_t i = 0; i < 2; ++i)
+    for (std::int64_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(mem.byArray("z").at({i, j}), i + j + 10.0);
+}
+
+TEST(Interpreter, SoftmaxRowsSumToOne) {
+  auto p = kernels::makeSoftmax(3, 5);
+  auto r = runWithRandomInputs(p, 11);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    double sum = 0;
+    for (std::int64_t j = 0; j < 5; ++j) {
+      const double v = r.mem.byArray("y").at({i, j});
+      EXPECT_GT(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Interpreter, MatmulAgainstReference) {
+  const std::int64_t M = 3, K = 4, N = 5;
+  auto p = kernels::makeMatmul(M, K, N);
+  auto r = runWithRandomInputs(p, 7);
+  for (std::int64_t i = 0; i < M; ++i) {
+    for (std::int64_t j = 0; j < N; ++j) {
+      double acc = 0;
+      for (std::int64_t k = 0; k < K; ++k)
+        acc += r.mem.byArray("A").at({i, k}) * r.mem.byArray("B").at({k, j});
+      EXPECT_NEAR(r.mem.byArray("Cm").at({i, j}), acc, 1e-9);
+    }
+  }
+}
+
+TEST(Interpreter, ReduceMean) {
+  auto p = kernels::makeReduceMean(2, 4);
+  Memory mem(p);
+  for (std::int64_t i = 0; i < 2; ++i)
+    for (std::int64_t j = 0; j < 4; ++j)
+      mem.byArray("x").set({i, j}, static_cast<double>(j + 1));
+  execute(p, mem);
+  EXPECT_NEAR(mem.byArray("m").at({0}), 2.5, 1e-9);
+  EXPECT_NEAR(mem.byArray("m").at({1}), 2.5, 1e-9);
+}
+
+TEST(Interpreter, IterValueOperand) {
+  Builder b("iota");
+  b.buffer("z", DType::F32, {5});
+  b.output("z");
+  b.beginScope(5);
+  b.op(OpCode::Mov, b.atDepths("z", {0}), {Builder::iv(b.it(0))});
+  b.endScope();
+  auto p = b.finish();
+  Memory mem(p);
+  execute(p, mem);
+  for (std::int64_t i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(mem.byArray("z").at({i}), static_cast<double>(i));
+}
+
+TEST(Interpreter, SharedBufferAliases) {
+  Builder b("alias");
+  b.buffer("x", DType::F32, {4});
+  b.buffer("t", DType::F32, {4}, ir::MemSpace::Heap, {"a", "bb"});
+  b.buffer("y", DType::F32, {4});
+  b.input("x").output("y");
+  b.beginScope(4);
+  b.op(OpCode::Mul, b.atDepths("a", {0}),
+       {Builder::arr(b.atDepths("x", {0})), Builder::cst(2.0)});
+  b.endScope();
+  b.beginScope(4);
+  b.op(OpCode::Mov, b.atDepths("y", {0}), {Builder::arr(b.atDepths("bb", {0}))});
+  b.endScope();
+  auto p = b.finish();
+  Memory mem(p);
+  for (std::int64_t i = 0; i < 4; ++i) mem.byArray("x").set({i}, 3.0);
+  execute(p, mem);
+  // "a" and "bb" alias the same storage.
+  for (std::int64_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(mem.byArray("y").at({i}), 6.0);
+}
+
+TEST(Interpreter, StatsCountLoadsStores) {
+  auto p = kernels::makeMul(2, 2);
+  auto r = runWithRandomInputs(p, 1);
+  EXPECT_EQ(r.stats.loads, 8);   // x and y per element
+  EXPECT_EQ(r.stats.stores, 4);  // z per element
+  EXPECT_EQ(r.stats.ops_executed, 4);
+}
+
+}  // namespace
+}  // namespace perfdojo::interp

@@ -1,0 +1,237 @@
+// Correctness of every kernel builder against straight-line reference math.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "kernels/kernels.h"
+
+namespace perfdojo::kernels {
+namespace {
+
+using interp::runWithRandomInputs;
+
+constexpr double kEps = 1e-5;
+
+TEST(Kernels, Add) {
+  auto r = runWithRandomInputs(makeAdd(3, 4), 1);
+  for (std::int64_t i = 0; i < 3; ++i)
+    for (std::int64_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(r.mem.byArray("z").at({i, j}),
+                  r.mem.byArray("x").at({i, j}) + r.mem.byArray("y").at({i, j}),
+                  1e-12);
+}
+
+TEST(Kernels, Mul) {
+  auto r = runWithRandomInputs(makeMul(3, 4), 2);
+  for (std::int64_t i = 0; i < 3; ++i)
+    for (std::int64_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(r.mem.byArray("z").at({i, j}),
+                  r.mem.byArray("x").at({i, j}) * r.mem.byArray("y").at({i, j}),
+                  1e-12);
+}
+
+TEST(Kernels, Relu) {
+  auto r = runWithRandomInputs(makeRelu(4, 4), 3);
+  for (std::int64_t i = 0; i < 4; ++i)
+    for (std::int64_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(r.mem.byArray("y").at({i, j}),
+                  std::max(r.mem.byArray("x").at({i, j}), 0.0), 1e-12);
+}
+
+TEST(Kernels, BatchNormInference) {
+  auto p = makeBatchNorm(2, 3, 2, 2);
+  interp::Memory mem(p);
+  Rng rng(4);
+  mem.randomizeInputs(p, rng);
+  // Variance must be non-negative for rsqrt to be defined.
+  for (auto& v : mem.byArray("var").data()) v = std::abs(v) + 0.1;
+  interp::execute(p, mem);
+  struct {
+    interp::Memory mem;
+  } r{std::move(mem)};
+  for (std::int64_t n = 0; n < 2; ++n)
+    for (std::int64_t c = 0; c < 3; ++c)
+      for (std::int64_t h = 0; h < 2; ++h)
+        for (std::int64_t w = 0; w < 2; ++w) {
+          const double x = r.mem.byArray("x").at({n, c, h, w});
+          const double g = r.mem.byArray("gamma").at({c});
+          const double be = r.mem.byArray("beta").at({c});
+          const double mu = r.mem.byArray("mean").at({c});
+          const double var = r.mem.byArray("var").at({c});
+          const double a = g / std::sqrt(var + kEps);
+          const double expect = a * x + (be - mu * a);
+          EXPECT_NEAR(r.mem.byArray("y").at({n, c, h, w}), expect, 1e-6);
+        }
+}
+
+TEST(Kernels, Bmm) {
+  auto r = runWithRandomInputs(makeBmm(2, 2, 3, 2), 5);
+  for (std::int64_t b = 0; b < 2; ++b)
+    for (std::int64_t i = 0; i < 2; ++i)
+      for (std::int64_t j = 0; j < 2; ++j) {
+        double acc = 0;
+        for (std::int64_t k = 0; k < 3; ++k)
+          acc += r.mem.byArray("A").at({b, i, k}) * r.mem.byArray("B").at({b, k, j});
+        EXPECT_NEAR(r.mem.byArray("Cm").at({b, i, j}), acc, 1e-9);
+      }
+}
+
+TEST(Kernels, Conv2d) {
+  const std::int64_t N = 1, K = 2, C = 2, H = 6, W = 6, R = 3;
+  auto r = runWithRandomInputs(makeConv2d(N, K, C, H, W, R), 6);
+  for (std::int64_t k = 0; k < K; ++k)
+    for (std::int64_t oh = 0; oh < H - R + 1; ++oh)
+      for (std::int64_t ow = 0; ow < W - R + 1; ++ow) {
+        double acc = 0;
+        for (std::int64_t c = 0; c < C; ++c)
+          for (std::int64_t rr = 0; rr < R; ++rr)
+            for (std::int64_t s = 0; s < R; ++s)
+              acc += r.mem.byArray("x").at({0, c, oh + rr, ow + s}) *
+                     r.mem.byArray("wgt").at({k, c, rr, s});
+        EXPECT_NEAR(r.mem.byArray("y").at({0, k, oh, ow}), acc, 1e-9);
+      }
+}
+
+TEST(Kernels, LayerNorm) {
+  const std::int64_t N = 3, D = 6;
+  auto r = runWithRandomInputs(makeLayerNorm(N, D), 7);
+  for (std::int64_t i = 0; i < N; ++i) {
+    double mu = 0;
+    for (std::int64_t j = 0; j < D; ++j) mu += r.mem.byArray("x").at({i, j});
+    mu /= D;
+    double var = 0;
+    for (std::int64_t j = 0; j < D; ++j) {
+      const double d = r.mem.byArray("x").at({i, j}) - mu;
+      var += d * d;
+    }
+    var /= D;
+    for (std::int64_t j = 0; j < D; ++j) {
+      const double expect =
+          (r.mem.byArray("x").at({i, j}) - mu) / std::sqrt(var + kEps);
+      EXPECT_NEAR(r.mem.byArray("y").at({i, j}), expect, 1e-6);
+    }
+  }
+}
+
+TEST(Kernels, ReluFfn) {
+  auto r = runWithRandomInputs(makeReluFfn(1, 2, 3, 3), 8);
+  for (std::int64_t c = 0; c < 2; ++c)
+    for (std::int64_t h = 0; h < 3; ++h)
+      for (std::int64_t w = 0; w < 3; ++w) {
+        const double expect = std::max(
+            r.mem.byArray("x").at({0, c, h, w}) + r.mem.byArray("bias").at({c}),
+            0.0);
+        EXPECT_NEAR(r.mem.byArray("y").at({0, c, h, w}), expect, 1e-9);
+      }
+}
+
+TEST(Kernels, RmsNorm) {
+  const std::int64_t N = 2, D = 5;
+  auto r = runWithRandomInputs(makeRmsNorm(N, D), 9);
+  for (std::int64_t i = 0; i < N; ++i) {
+    double s = 0;
+    for (std::int64_t j = 0; j < D; ++j) {
+      const double x = r.mem.byArray("x").at({i, j});
+      s += x * x;
+    }
+    const double inv = 1.0 / std::sqrt(s / D + kEps);
+    for (std::int64_t j = 0; j < D; ++j)
+      EXPECT_NEAR(r.mem.byArray("y").at({i, j}),
+                  r.mem.byArray("x").at({i, j}) * inv, 1e-6);
+  }
+}
+
+TEST(Kernels, Softmax) {
+  const std::int64_t N = 2, M = 6;
+  auto r = runWithRandomInputs(makeSoftmax(N, M), 10);
+  for (std::int64_t i = 0; i < N; ++i) {
+    double mx = -1e300;
+    for (std::int64_t j = 0; j < M; ++j)
+      mx = std::max(mx, r.mem.byArray("x").at({i, j}));
+    double l = 0;
+    for (std::int64_t j = 0; j < M; ++j)
+      l += std::exp(r.mem.byArray("x").at({i, j}) - mx);
+    for (std::int64_t j = 0; j < M; ++j)
+      EXPECT_NEAR(r.mem.byArray("y").at({i, j}),
+                  std::exp(r.mem.byArray("x").at({i, j}) - mx) / l, 1e-9);
+  }
+}
+
+TEST(Kernels, Swiglu) {
+  const std::int64_t S = 2, D = 3, F = 4;
+  auto r = runWithRandomInputs(makeSwiglu(S, D, F), 11);
+  for (std::int64_t s = 0; s < S; ++s)
+    for (std::int64_t f = 0; f < F; ++f) {
+      double g = 0, h = 0;
+      for (std::int64_t d = 0; d < D; ++d) {
+        g += r.mem.byArray("x").at({s, d}) * r.mem.byArray("W1").at({d, f});
+        h += r.mem.byArray("x").at({s, d}) * r.mem.byArray("W3").at({d, f});
+      }
+      const double silu = g / (1.0 + std::exp(-g));
+      EXPECT_NEAR(r.mem.byArray("y").at({s, f}), silu * h, 1e-9);
+    }
+}
+
+TEST(Kernels, SnitchMicroReference) {
+  // axpy
+  {
+    auto r = runWithRandomInputs(makeAxpy(8), 12);
+    for (std::int64_t i = 0; i < 8; ++i)
+      EXPECT_NEAR(r.mem.byArray("y").at({i}),
+                  2.5 * r.mem.byArray("x").at({i}) + r.mem.byArray("y0").at({i}),
+                  1e-12);
+  }
+  // dot
+  {
+    auto r = runWithRandomInputs(makeDot(8), 13);
+    double acc = 0;
+    for (std::int64_t i = 0; i < 8; ++i)
+      acc += r.mem.byArray("x").at({i}) * r.mem.byArray("y").at({i});
+    EXPECT_NEAR(r.mem.byArray("d").at({0}), acc, 1e-12);
+  }
+  // sum
+  {
+    auto r = runWithRandomInputs(makeSum(8), 14);
+    double acc = 0;
+    for (std::int64_t i = 0; i < 8; ++i) acc += r.mem.byArray("x").at({i});
+    EXPECT_NEAR(r.mem.byArray("s").at({0}), acc, 1e-12);
+  }
+  // conv1d
+  {
+    auto r = runWithRandomInputs(makeConv1d(10, 3), 15);
+    for (std::int64_t i = 0; i < 8; ++i) {
+      double acc = 0;
+      for (std::int64_t k = 0; k < 3; ++k)
+        acc += r.mem.byArray("x").at({i + k}) * r.mem.byArray("w").at({k});
+      EXPECT_NEAR(r.mem.byArray("y").at({i}), acc, 1e-12);
+    }
+  }
+  // norm2
+  {
+    auto r = runWithRandomInputs(makeNorm2(8), 16);
+    double acc = 0;
+    for (std::int64_t i = 0; i < 8; ++i) {
+      const double x = r.mem.byArray("x").at({i});
+      acc += x * x;
+    }
+    EXPECT_NEAR(r.mem.byArray("s").at({0}), std::sqrt(acc), 1e-12);
+  }
+}
+
+TEST(Kernels, CatalogsComplete) {
+  EXPECT_EQ(table3().size(), 16u);  // Table 3 lists 16 operator variants
+  EXPECT_GE(snitchMicro().size(), 8u);
+  EXPECT_GE(x86Uncommon().size(), 6u);
+  EXPECT_NE(findKernel("softmax"), nullptr);
+  EXPECT_NE(findKernel("axpy"), nullptr);
+  EXPECT_EQ(findKernel("nope"), nullptr);
+}
+
+TEST(Kernels, AllSmallBuildersValidate) {
+  for (const auto* cat : {&table3(), &snitchMicro(), &x86Uncommon()})
+    for (const auto& k : *cat) EXPECT_NO_THROW(k.build_small().validate());
+}
+
+}  // namespace
+}  // namespace perfdojo::kernels

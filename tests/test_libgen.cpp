@@ -1,0 +1,70 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "libgen/libgen.h"
+#include "machines/machine.h"
+
+namespace perfdojo::libgen {
+namespace {
+
+std::vector<kernels::KernelInfo> smallSet() {
+  return {*kernels::findKernel("mul"), *kernels::findKernel("reducemean"),
+          *kernels::findKernel("softmax")};
+}
+
+TEST(LibGen, HeuristicLibrarySpeedsUpEveryKernel) {
+  const auto lib = generateLibrary(smallSet(), machines::xeon());
+  ASSERT_EQ(lib.entries.size(), 3u);
+  for (const auto& e : lib.entries) {
+    EXPECT_LT(e.tuned_runtime, e.baseline_runtime) << e.label;
+    EXPECT_NE(e.source.find("void perfdojo_" + e.label), std::string::npos);
+    EXPECT_FALSE(e.recipe.empty());
+  }
+}
+
+TEST(LibGen, HeaderDeclaresEverything) {
+  const auto lib = generateLibrary(smallSet(), machines::xeon());
+  const std::string h = lib.header();
+  EXPECT_NE(h.find("extern \"C\""), std::string::npos);
+  for (const auto& e : lib.entries)
+    EXPECT_NE(h.find("perfdojo_" + e.label), std::string::npos);
+}
+
+TEST(LibGen, ManifestReportsSpeedups) {
+  const auto lib = generateLibrary(smallSet(), machines::xeon());
+  const std::string m = lib.manifest();
+  EXPECT_NE(m.find("xeon"), std::string::npos);
+  EXPECT_NE(m.find("softmax:"), std::string::npos);
+  EXPECT_NE(m.find("x, 1 evaluations"), std::string::npos);
+}
+
+TEST(LibGen, WritesFilesToDisk) {
+  const std::string dir = ::testing::TempDir() + "/pdlib_test";
+  const auto lib = generateLibrary(smallSet(), machines::xeon());
+  const auto files = writeLibrary(lib, dir);
+  EXPECT_EQ(files.size(), 3u + 2u);  // sources + header + manifest
+  for (const auto& f : files) EXPECT_TRUE(std::filesystem::exists(f));
+  std::ifstream hdr(dir + "/perfdojo_lib.h");
+  EXPECT_TRUE(hdr.good());
+}
+
+TEST(LibGen, SearchOptimizerRecordsBudget) {
+  LibGenConfig cfg;
+  cfg.optimizer = Optimizer::Search;
+  cfg.search_budget = 40;
+  const auto lib = generateLibrary({*kernels::findKernel("mul")},
+                                   machines::xeon(), cfg);
+  EXPECT_GE(lib.entries[0].evaluations, 40);
+  EXPECT_LE(lib.entries[0].tuned_runtime, lib.entries[0].baseline_runtime);
+}
+
+TEST(LibGen, OptimizerNames) {
+  EXPECT_STREQ(optimizerName(Optimizer::None), "none");
+  EXPECT_STREQ(optimizerName(Optimizer::PerfLLM), "perfllm");
+}
+
+}  // namespace
+}  // namespace perfdojo::libgen

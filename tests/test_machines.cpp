@@ -1,0 +1,205 @@
+// Machine models: the mechanisms of DESIGN.md's substitution table must
+// actually produce the paper's qualitative effects.
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.h"
+#include "machines/cpumodel.h"
+#include "machines/gpusim.h"
+#include "machines/machine.h"
+#include "machines/snitch.h"
+#include "ir/walk.h"
+#include "search/pass.h"
+
+namespace perfdojo::machines {
+namespace {
+
+TEST(Machines, Registry) {
+  EXPECT_EQ(findMachine("snitch"), &snitch());
+  EXPECT_EQ(findMachine("xeon"), &xeon());
+  EXPECT_EQ(findMachine("gh200"), &gh200());
+  EXPECT_EQ(findMachine("mi300a"), &mi300a());
+  EXPECT_EQ(findMachine("tpu"), nullptr);
+}
+
+// --- Snitch ---
+
+TEST(Snitch, GreedyReductionStallsAtQuarterPeak) {
+  // The paper: greedy (SSR+FREP everywhere) reaches ~25% of peak on
+  // latency-bound reductions because of the 4-cycle FPU pipeline.
+  const auto h = search::greedyPass(kernels::makeDot(1024), snitch());
+  const auto rep = snitchAnalyze(h.current());
+  EXPECT_NEAR(rep.peak_fraction, 0.25, 0.05);
+}
+
+TEST(Snitch, HeuristicTileBy4ApproachesPeak) {
+  const auto h = search::heuristicPass(kernels::makeDot(1024), snitch());
+  const auto rep = snitchAnalyze(h.current());
+  EXPECT_GT(rep.peak_fraction, 0.8);
+}
+
+TEST(Snitch, GreedyElementwiseNearPeak) {
+  // Elementwise kernels have no dependence chain: SSR+FREP alone suffice.
+  const auto h = search::greedyPass(kernels::makeVecMul(1024), snitch());
+  const auto rep = snitchAnalyze(h.current());
+  EXPECT_GT(rep.peak_fraction, 0.8);
+}
+
+TEST(Snitch, NaiveSlowerThanGreedySlowerOrEqualHeuristic) {
+  for (const char* label : {"dot", "sum", "vmul", "axpy", "conv1d"}) {
+    const auto* k = kernels::findKernel(label);
+    const auto p = k->build();
+    const double t_naive = snitch().evaluate(search::naivePass(p, snitch()).current());
+    const double t_greedy = snitch().evaluate(search::greedyPass(p, snitch()).current());
+    const double t_heur = snitch().evaluate(search::heuristicPass(p, snitch()).current());
+    EXPECT_LE(t_greedy, t_naive * 1.001) << label;
+    EXPECT_LE(t_heur, t_greedy * 1.001) << label;
+  }
+}
+
+TEST(Snitch, SsrRemovesIntegerStream) {
+  const auto base = kernels::makeVecMul(1024);
+  const auto rep0 = snitchAnalyze(base);
+  auto caps = snitch().caps();
+  auto locs = transform::ssrStream().findApplicable(base, caps);
+  ASSERT_FALSE(locs.empty());
+  const auto rep1 = snitchAnalyze(transform::ssrStream().apply(base, locs[0]));
+  EXPECT_LT(rep1.int_cycles, rep0.int_cycles);
+  EXPECT_DOUBLE_EQ(rep1.fp_cycles, rep0.fp_cycles);
+}
+
+TEST(Snitch, PeakTimeIsFlops) {
+  const auto p = kernels::makeVecMul(256);
+  EXPECT_DOUBLE_EQ(snitch().peakTime(p), 256e-9);  // 1 flop/cycle @ 1 GHz
+}
+
+// --- GPU ---
+
+TEST(Gpu, HostOnlyProgramIsSlow) {
+  const auto p = kernels::makeMul(6, 14336);
+  const auto rep = gpuAnalyze(p, gh200Config());
+  EXPECT_EQ(rep.kernels, 0);
+  EXPECT_GT(rep.host_time, 1e-5);
+}
+
+TEST(Gpu, GridMappingBeatsHost) {
+  const auto p = kernels::makeMul(6, 14336);
+  const double host = gh200().evaluate(p);
+  const auto h = search::greedyPass(p, gh200());
+  EXPECT_LT(gh200().evaluate(h.current()), host);
+}
+
+TEST(Gpu, VectorLoadsBeatScalar) {
+  // 128-bit loads move the elementwise kernel faster than 32-bit loads
+  // (the paper's mul example: 1.71x over PyTorch on GH200).
+  const auto p = kernels::makeMul(64, 14336);
+  const auto greedy = search::greedyPass(p, gh200());
+  const auto expert = search::heuristicPass(p, gh200());
+  EXPECT_LT(gh200().evaluate(expert.current()),
+            gh200().evaluate(greedy.current()));
+}
+
+TEST(Gpu, BlockPaddingChargedToWavefront) {
+  // Block of 300 on a 64-lane wavefront machine costs 320 lanes.
+  auto p = kernels::makeBatchNorm(2, 4, 300, 4);
+  auto caps = mi300a().caps();
+  // grid on the main nest's n-loop (extent 2), block on h(=300)
+  bool mapped_grid = false;
+  for (const auto& l : transform::gpuMapGrid().findApplicable(p, caps)) {
+    if (ir::findNode(p.root, l.node)->extent != 2) continue;
+    p = transform::gpuMapGrid().apply(p, l);
+    mapped_grid = true;
+    break;
+  }
+  ASSERT_TRUE(mapped_grid);
+  bool mapped_block = false;
+  for (const auto& l : transform::gpuMapBlock().findApplicable(p, caps)) {
+    if (ir::findNode(p.root, l.node)->extent == 300) {
+      p = transform::gpuMapBlock().apply(p, l);
+      mapped_block = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mapped_block);
+  const auto rep = gpuAnalyze(p, mi300aConfig());
+  EXPECT_NEAR(rep.pad_factor, 320.0 / 300.0, 1e-9);
+}
+
+TEST(Gpu, WarpSizesDiffer) {
+  EXPECT_EQ(gh200Config().warp_size, 32);
+  EXPECT_EQ(mi300aConfig().warp_size, 64);
+}
+
+TEST(Gpu, LaunchOverheadPerKernel) {
+  // Unfused (two nests mapped) pays two launches; fused pays one.
+  const auto p = kernels::makeReluFfn(2, 4, 8, 8);
+  auto caps = gh200().caps();
+  ir::Program two = p;
+  int grids = 0;
+  while (grids < 2) {
+    bool applied = false;
+    for (const auto& l : transform::gpuMapGrid().findApplicable(two, caps)) {
+      bool nested = false;
+      for (ir::NodeId a : ir::enclosingScopes(two.root, l.node)) {
+        if (ir::findNode(two.root, a)->anno == ir::LoopAnno::GpuGrid)
+          nested = true;
+      }
+      if (nested) continue;
+      two = transform::gpuMapGrid().apply(two, l);
+      applied = true;
+      ++grids;
+      break;
+    }
+    if (!applied) break;
+  }
+  EXPECT_EQ(grids, 2);
+  const auto rep = gpuAnalyze(two, gh200Config());
+  EXPECT_EQ(rep.kernels, 2);
+}
+
+// --- CPU ---
+
+TEST(Cpu, ParallelizeUsesCores) {
+  const auto p = kernels::makeAdd(3072, 4096);
+  auto caps = xeon().caps();
+  const double t0 = xeon().evaluate(p);
+  auto locs = transform::parallelize().findApplicable(p, caps);
+  ASSERT_FALSE(locs.empty());
+  const auto q = transform::parallelize().apply(p, locs[0]);
+  EXPECT_LT(xeon().evaluate(q), t0);
+  const auto rep = cpuAnalyze(q, xeonConfig());
+  EXPECT_EQ(rep.cores_used, 18);
+}
+
+TEST(Cpu, VectorizeReducesComputeTime) {
+  const auto p = kernels::makeMatmul(64, 64, 64);
+  const double t_naive = xeon().evaluate(p);
+  const auto h = search::heuristicPass(p, xeon());
+  EXPECT_LT(xeon().evaluate(h.current()), t_naive);
+  const auto rep = cpuAnalyze(h.current(), xeonConfig());
+  EXPECT_GT(rep.vec_fraction, 0.5);
+}
+
+TEST(Cpu, CacheResidencyReducesTraffic) {
+  // The same access pattern to a small (L1-resident) buffer charges far
+  // less traffic than to a huge buffer.
+  const auto small = kernels::makeAdd(16, 16);
+  const auto big = kernels::makeAdd(4096, 4096);
+  const auto rs = cpuAnalyze(small, xeonConfig());
+  const auto rb = cpuAnalyze(big, xeonConfig());
+  const double per_elem_small = rs.eff_bytes / (16.0 * 16.0);
+  const double per_elem_big = rb.eff_bytes / (4096.0 * 4096.0);
+  EXPECT_LT(per_elem_small, per_elem_big);
+}
+
+TEST(Machines, EvaluateIsDeterministic) {
+  for (const Machine* m : {&snitch(), &xeon(), &gh200(), &mi300a()}) {
+    const auto p = kernels::makeSoftmax(64, 64);
+    EXPECT_DOUBLE_EQ(m->evaluate(p), m->evaluate(p));
+    EXPECT_GT(m->evaluate(p), 0.0);
+    EXPECT_GT(m->peakTime(p), 0.0);
+    EXPECT_LE(m->peakTime(p), m->evaluate(p) * 1.0001) << m->name();
+  }
+}
+
+}  // namespace
+}  // namespace perfdojo::machines

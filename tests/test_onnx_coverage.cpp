@@ -1,0 +1,55 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ir/onnx_coverage.h"
+
+namespace perfdojo::ir {
+namespace {
+
+TEST(OnnxCoverage, MatchesPaperClaim) {
+  // Section 2.1: "The supported features facilitate the implementation of
+  // 83% of the kernels defined in the ONNX specification."
+  const auto s = onnxCoverage();
+  EXPECT_GT(s.total, 150);
+  EXPECT_NEAR(s.fraction(), 0.83, 0.04);
+}
+
+TEST(OnnxCoverage, UnsupportedFeaturesAreTheDocumentedFour) {
+  for (const auto& op : onnxCatalog()) {
+    if (reprFeatureSupported(op.feature)) continue;
+    EXPECT_TRUE(op.feature == ReprFeature::Indirection ||
+                op.feature == ReprFeature::DataDependentRange ||
+                op.feature == ReprFeature::DependentIteration ||
+                op.feature == ReprFeature::GeneralControlFlow)
+        << op.name;
+  }
+}
+
+TEST(OnnxCoverage, CatalogHasNoDuplicates) {
+  std::set<std::string> names;
+  for (const auto& op : onnxCatalog())
+    EXPECT_TRUE(names.insert(op.name).second) << op.name;
+}
+
+TEST(OnnxCoverage, KnownClassifications) {
+  auto featureOf = [](const std::string& n) {
+    for (const auto& op : onnxCatalog())
+      if (op.name == n) return op.feature;
+    return ReprFeature::GeneralControlFlow;
+  };
+  EXPECT_EQ(featureOf("Relu"), ReprFeature::Elementwise);
+  EXPECT_EQ(featureOf("Softmax"), ReprFeature::Reduction);
+  EXPECT_EQ(featureOf("Gather"), ReprFeature::Indirection);
+  EXPECT_EQ(featureOf("LSTM"), ReprFeature::DependentIteration);
+  EXPECT_EQ(featureOf("Loop"), ReprFeature::GeneralControlFlow);
+  EXPECT_EQ(featureOf("NonZero"), ReprFeature::DataDependentRange);
+}
+
+TEST(OnnxCoverage, FeatureNamesRender) {
+  for (int f = 0; f <= static_cast<int>(ReprFeature::GeneralControlFlow); ++f)
+    EXPECT_NE(std::string(reprFeatureName(static_cast<ReprFeature>(f))), "");
+}
+
+}  // namespace
+}  // namespace perfdojo::ir

@@ -1,0 +1,104 @@
+// The paper's central guarantee, tested property-style: EVERY location
+// returned by EVERY transformation's applicability detection produces a
+// numerically equivalent program, on every kernel, and the property still
+// holds along random multi-step transformation trajectories.
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.h"
+#include "support/rng.h"
+#include "transform/transform.h"
+#include "verify/verifier.h"
+
+namespace perfdojo::transform {
+namespace {
+
+struct Target {
+  const char* name;
+  MachineCaps caps;
+};
+
+std::vector<Target> targets() {
+  MachineCaps cpu;
+  cpu.vector_widths = {4, 8};
+  MachineCaps gpu;
+  gpu.is_gpu = true;
+  gpu.has_parallel = false;
+  gpu.warp_size = 32;
+  gpu.vector_widths = {2, 4};
+  MachineCaps sn;
+  sn.vector_widths = {};
+  sn.has_parallel = false;
+  sn.has_ssr = true;
+  sn.has_frep = true;
+  return {{"cpu", cpu}, {"gpu", gpu}, {"snitch", sn}};
+}
+
+verify::VerifyOptions tolerantOpts() {
+  verify::VerifyOptions vo;
+  vo.trials = 1;
+  vo.rel_tol = 1e-4;  // partial_reduce reassociates floating point
+  vo.abs_tol = 1e-7;
+  return vo;
+}
+
+class SingleStepP : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SingleStepP, EveryApplicableActionPreservesSemantics) {
+  const auto* k = kernels::findKernel(GetParam());
+  ASSERT_NE(k, nullptr);
+  const ir::Program p = k->build_small();
+  for (const auto& tgt : targets()) {
+    const auto actions = allActions(p, tgt.caps);
+    for (const auto& a : actions) {
+      ir::Program q;
+      ASSERT_NO_THROW(q = a.apply(p))
+          << tgt.name << " " << a.describe(p) << " threw on its own location";
+      const auto r = verify::verifyEquivalent(p, q, tolerantOpts());
+      ASSERT_TRUE(r.equivalent)
+          << tgt.name << " " << a.describe(p) << ": " << r.detail;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3, SingleStepP,
+    ::testing::Values("add", "batchnorm_2", "bmm", "conv_1", "layernorm_1",
+                      "matmul", "mul", "reducemean", "relu", "relu_ffn",
+                      "rmsnorm", "softmax", "swiglu"));
+
+INSTANTIATE_TEST_SUITE_P(SnitchMicro, SingleStepP,
+                         ::testing::Values("axpy", "dot", "sum", "gemm",
+                                           "conv1d", "norm2"));
+
+class TrajectoryP
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(TrajectoryP, RandomWalksStayCorrect) {
+  const auto& [label, seed] = GetParam();
+  const auto* k = kernels::findKernel(label);
+  ASSERT_NE(k, nullptr);
+  const ir::Program original = k->build_small();
+  for (const auto& tgt : targets()) {
+    ir::Program p = original;
+    Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+    for (int step = 0; step < 12; ++step) {
+      auto actions = allActions(p, tgt.caps);
+      if (actions.empty()) break;
+      const auto& a = actions[rng.uniform(actions.size())];
+      ir::Program q;
+      ASSERT_NO_THROW(q = a.apply(p)) << tgt.name << " " << a.describe(p);
+      p = std::move(q);
+    }
+    const auto r = verify::verifyEquivalent(original, p, tolerantOpts());
+    ASSERT_TRUE(r.equivalent) << tgt.name << " after random walk: " << r.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Walks, TrajectoryP,
+    ::testing::Combine(::testing::Values("softmax", "matmul", "layernorm_1",
+                                         "reducemean", "conv_2", "dot"),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace perfdojo::transform

@@ -1,0 +1,252 @@
+// RL stack: embedding properties, NN gradient correctness, DQN learning,
+// the Figure 6 toy MDP, and a small end-to-end PerfLLM run.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.h"
+#include "machines/machine.h"
+#include "rl/dqn.h"
+#include "rl/embedding.h"
+#include "rl/env.h"
+#include "rl/nn.h"
+#include "rl/perfllm.h"
+#include "rl/toy_mdp.h"
+
+namespace perfdojo::rl {
+namespace {
+
+TEST(Embedding, DeterministicAndNormalized) {
+  TextEmbedder e(48);
+  const auto a = e.embed("hello world kernel text");
+  const auto b = e.embed("hello world kernel text");
+  EXPECT_EQ(a, b);
+  double n = 0;
+  for (double x : a) n += x * x;
+  EXPECT_NEAR(n, 1.0, 1e-9);
+}
+
+TEST(Embedding, LocalityOverPrograms) {
+  TextEmbedder e(48);
+  const auto softmax1 = e.embedProgram(kernels::makeSoftmax(64, 64));
+  const auto softmax2 = e.embedProgram(kernels::makeSoftmax(64, 128));
+  const auto matmul = e.embedProgram(kernels::makeMatmul(64, 64, 64));
+  const double close = TextEmbedder::cosine(softmax1, softmax2);
+  const double far = TextEmbedder::cosine(softmax1, matmul);
+  EXPECT_GT(close, far);
+}
+
+TEST(Embedding, CosineBasics) {
+  EXPECT_NEAR(TextEmbedder::cosine({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(TextEmbedder::cosine({1, 0}, {0, 1}), 0.0, 1e-12);
+}
+
+TEST(Nn, LinearGradientCheck) {
+  Rng rng(1);
+  Linear l(3, 2, rng);
+  const Vec x = {0.3, -0.7, 1.2};
+  // d(sum(y))/dx via backward vs numerical.
+  Vec y = l.forward(x);
+  Vec dx = l.backward({1.0, 1.0});
+  const double eps = 1e-6;
+  for (int i = 0; i < 3; ++i) {
+    Vec xp = x, xm = x;
+    xp[static_cast<std::size_t>(i)] += eps;
+    xm[static_cast<std::size_t>(i)] -= eps;
+    const Vec yp = l.forward(xp);
+    const Vec ym = l.forward(xm);
+    const double num =
+        ((yp[0] + yp[1]) - (ym[0] + ym[1])) / (2 * eps);
+    EXPECT_NEAR(dx[static_cast<std::size_t>(i)], num, 1e-5);
+  }
+}
+
+TEST(Nn, AdamDescendsQuadratic) {
+  // Fit y = Wx with a single layer on a fixed dataset.
+  Rng rng(2);
+  Linear l(2, 1, rng);
+  double first_loss = -1, last_loss = -1;
+  for (int it = 1; it <= 300; ++it) {
+    l.zeroGrad();
+    double loss = 0;
+    const double data[4][3] = {{1, 0, 2}, {0, 1, -1}, {1, 1, 1}, {2, 1, 3}};
+    for (const auto& d : data) {
+      const Vec y = l.forward({d[0], d[1]});
+      const double err = y[0] - d[2];
+      loss += err * err;
+      l.backward({2 * err / 4});
+    }
+    if (first_loss < 0) first_loss = loss;
+    last_loss = loss;
+    l.adamStep(0.05, it);
+  }
+  EXPECT_LT(last_loss, first_loss * 0.01);
+}
+
+TEST(Nn, QNetworkLearnsSimpleFunction) {
+  Rng rng(3);
+  QNetwork net(4, 32, rng, /*dueling=*/true);
+  Rng data_rng(4);
+  double last_loss = 0;
+  for (int it = 0; it < 800; ++it) {
+    net.zeroGrad();
+    double loss = 0;
+    for (int b = 0; b < 8; ++b) {
+      Vec x(4);
+      for (auto& v : x) v = data_rng.uniformReal(-1, 1);
+      const double target = x[0] - 2 * x[1] + 0.5 * x[2] * x[2];
+      const double q = net.forward(x);
+      const double err = q - target;
+      loss += err * err;
+      net.backward(2 * err / 8);
+    }
+    net.adamStep(3e-3);
+    last_loss = loss / 8;
+  }
+  EXPECT_LT(last_loss, 0.05);
+}
+
+TEST(Replay, RingBufferEviction) {
+  ReplayBuffer buf(4);
+  for (int i = 0; i < 10; ++i) {
+    Transition t;
+    t.reward = i;
+    buf.push(std::move(t));
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  Rng rng(1);
+  for (const auto* t : buf.sample(16, rng)) EXPECT_GE(t->reward, 4.0);
+}
+
+TEST(Dqn, LearnsContextualBandit) {
+  // Inputs encode the action's true value; the agent must learn Q(x) = x[0].
+  DqnConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = 24;
+  cfg.min_replay = 16;
+  cfg.batch_size = 8;
+  DqnAgent agent(cfg);
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const double v = rng.uniformReal(0, 1);
+    Transition t;
+    t.x = {v, 1.0};
+    t.reward = v;
+    t.terminal = true;
+    agent.observe(std::move(t));
+  }
+  // Greedy selection must prefer the higher-value candidate.
+  int correct = 0;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<Vec> cands = {{0.1, 1.0}, {0.9, 1.0}};
+    if (agent.selectAction(cands, 0.0, rng) == 1) ++correct;
+  }
+  EXPECT_GE(correct, 18);
+}
+
+TEST(ToyMdp, ExactValuesMatchFigure6) {
+  const auto r = toyMdpExact(0.9);
+  // Original Q-learning: expected cumulative reward of the path
+  // (-1 + 0.9*(-1) + 0.81*10 = 6.2) loses to stopping (8).
+  EXPECT_NEAR(r.q_std_go, 6.2, 1e-9);
+  EXPECT_NEAR(r.q_std_stop, 8.0, 1e-9);
+  EXPECT_TRUE(r.std_stops);
+  // Max Q-learning: peak-oriented value max(-1, 0.9*max(-1, 0.9*10)) = 8.1
+  // beats stopping.
+  EXPECT_NEAR(r.q_max_go, 8.1, 1e-9);
+  EXPECT_TRUE(r.max_goes);
+}
+
+TEST(ToyMdp, TabularLearnersConverge) {
+  const auto r = runToyMdp(6000, 0.9, 0.2, 5);
+  EXPECT_TRUE(r.std_stops);
+  EXPECT_TRUE(r.max_goes);
+  EXPECT_NEAR(r.q_std_go, 6.2, 0.5);
+  EXPECT_NEAR(r.q_max_go, 8.1, 0.5);
+}
+
+TEST(Env, CandidatesIncludeStopLast) {
+  TextEmbedder e(16);
+  EnvConfig ec;
+  ec.candidate_cap = 8;
+  PerfDojoEnv env(kernels::makeSoftmax(8, 16), machines::xeon(), e, ec);
+  Rng rng(1);
+  auto cands = env.candidates(rng);
+  ASSERT_GE(cands.size(), 2u);
+  EXPECT_TRUE(cands.back().is_stop);
+  EXPECT_LE(cands.size(), 9u);
+  for (const auto& c : cands)
+    EXPECT_EQ(c.input.size(), 32u);  // 2 x dim
+  // Stop input is the state twice.
+  for (int i = 0; i < 16; ++i)
+    EXPECT_DOUBLE_EQ(cands.back().input[static_cast<std::size_t>(i)],
+                     cands.back().input[static_cast<std::size_t>(i) + 16]);
+}
+
+TEST(Env, StepAndBestTracking) {
+  TextEmbedder e(16);
+  PerfDojoEnv env(kernels::makeMul(8, 256), machines::gh200(), e);
+  Rng rng(2);
+  const double t0 = env.currentRuntime();
+  auto cands = env.candidates(rng);
+  // Play a non-stop action.
+  const auto r = env.step(cands[0]);
+  EXPECT_FALSE(r.terminal);
+  EXPECT_TRUE(std::isfinite(r.reward));  // log shaping: sign tracks speedup
+  EXPECT_LE(env.bestRuntime(), t0);
+  env.reset();
+  EXPECT_EQ(env.stepsTaken(), 0);
+  EXPECT_LE(env.bestRuntime(), t0);  // best persists across episodes
+}
+
+TEST(PerfLLM, ImprovesSmallKernel) {
+  PerfLLMConfig cfg;
+  cfg.episodes = 6;
+  cfg.max_steps = 10;
+  cfg.candidate_cap = 10;
+  cfg.embedding_dim = 16;
+  cfg.seed = 11;
+  // On the CPU target a single parallelize move already pays off, so even a
+  // tiny budget must find an improvement.
+  const auto r = optimizeKernel(kernels::makeAdd(512, 512), machines::xeon(), cfg);
+  EXPECT_LT(r.best_runtime, r.initial_runtime);
+  EXPECT_GT(r.evals, 10);
+  EXPECT_EQ(r.episode_best.size(), 6u);
+  // episode_best is non-increasing.
+  for (std::size_t i = 1; i < r.episode_best.size(); ++i)
+    EXPECT_LE(r.episode_best[i], r.episode_best[i - 1] + 1e-18);
+}
+
+}  // namespace
+}  // namespace perfdojo::rl
+// Appended coverage: reward shaping and stratified candidate sampling.
+namespace perfdojo::rl {
+namespace {
+
+TEST(Env, LogRewardSignsFollowPerformance) {
+  TextEmbedder e(16);
+  EnvConfig ec;
+  ec.reward_scale = machines::gh200().evaluate(kernels::makeMul(8, 256));
+  ec.log_reward = true;
+  PerfDojoEnv env(kernels::makeMul(8, 256), machines::gh200(), e, ec);
+  // At the initial state, reward = log(T0/T0) = 0.
+  EXPECT_NEAR(env.shapedReward(), 0.0, 1e-12);
+}
+
+TEST(Env, StratifiedCandidatesCoverTransformTypes) {
+  TextEmbedder e(16);
+  EnvConfig ec;
+  ec.candidate_cap = 12;
+  PerfDojoEnv env(kernels::makeSoftmax(64, 64), machines::xeon(), e, ec);
+  Rng rng(3);
+  auto cands = env.candidates(rng);
+  std::set<std::string> types;
+  for (const auto& c : cands)
+    if (!c.is_stop) types.insert(c.action.transform->name());
+  // With many applicable transform kinds, the stratified sample must keep
+  // several kinds represented rather than filling up with one.
+  EXPECT_GE(types.size(), 4u);
+}
+
+}  // namespace
+}  // namespace perfdojo::rl

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.h"
+#include "machines/machine.h"
+#include "search/pass.h"
+#include "search/search.h"
+#include "support/stats.h"
+#include "verify/verifier.h"
+
+namespace perfdojo::search {
+namespace {
+
+TEST(Passes, NaiveFusesSoftmax) {
+  const auto p = kernels::makeSoftmax(64, 64);
+  auto h = naivePass(p, machines::xeon());
+  EXPECT_GT(h.size(), 3u);  // several fusions + reuses happened
+  EXPECT_LE(machines::xeon().evaluate(h.current()),
+            machines::xeon().evaluate(p));
+  // mx / l are scalar per row after fusion + reuse.
+  const auto* mx = h.current().findBuffer("mx");
+  ASSERT_NE(mx, nullptr);
+  EXPECT_FALSE(mx->materialized[0]);
+}
+
+TEST(Passes, PassesPreserveSemantics) {
+  for (const char* label : {"softmax", "reducemean", "matmul"}) {
+    const auto* k = kernels::findKernel(label);
+    const auto p = k->build_small();
+    for (auto* m : {&machines::xeon(), &machines::snitch(), &machines::gh200()}) {
+      for (auto pass : {&naivePass, &greedyPass, &heuristicPass}) {
+        auto h = (*pass)(p, *m);
+        verify::VerifyOptions vo;
+        vo.rel_tol = 1e-4;
+        const auto r = verify::verifyEquivalent(p, h.current(), vo);
+        EXPECT_TRUE(r.equivalent)
+            << label << " on " << m->name() << ": " << r.detail;
+      }
+    }
+  }
+}
+
+TEST(Passes, SnitchGeomeanOrdering) {
+  // Figure 7: greedy ~ +46% over naive, heuristic ~ +58% over naive
+  // (geometric means). Assert the ordering and a sizable gap.
+  std::vector<double> g_over_n, h_over_n;
+  for (const auto& k : kernels::snitchMicro()) {
+    const auto p = k.build();
+    const double tn = machines::snitch().evaluate(naivePass(p, machines::snitch()).current());
+    const double tg = machines::snitch().evaluate(greedyPass(p, machines::snitch()).current());
+    const double th = machines::snitch().evaluate(heuristicPass(p, machines::snitch()).current());
+    g_over_n.push_back(tn / tg);
+    h_over_n.push_back(tn / th);
+  }
+  const double g = geomean(g_over_n);
+  const double h = geomean(h_over_n);
+  EXPECT_GT(g, 1.2);
+  EXPECT_GT(h, g);
+}
+
+TEST(Search, ImprovesOverInitialProgram) {
+  const auto p = kernels::makeSoftmax(256, 256);
+  SearchConfig cfg;
+  cfg.budget = 150;
+  cfg.seed = 3;
+  for (auto method : {SearchMethod::RandomSampling, SearchMethod::SimulatedAnnealing}) {
+    for (auto structure : {SpaceStructure::Edges, SpaceStructure::Heuristic}) {
+      cfg.method = method;
+      cfg.structure = structure;
+      const auto r = runSearch(p, machines::xeon(), cfg);
+      EXPECT_LT(r.best_runtime, machines::xeon().evaluate(p))
+          << searchMethodName(method) << "/" << spaceStructureName(structure);
+      EXPECT_EQ(r.trace.size(), static_cast<std::size_t>(r.evals));
+    }
+  }
+}
+
+TEST(Search, TraceIsMonotoneNonIncreasing) {
+  SearchConfig cfg;
+  cfg.budget = 100;
+  const auto r = runSearch(kernels::makeReduceMean(128, 256), machines::xeon(), cfg);
+  for (std::size_t i = 1; i < r.trace.size(); ++i)
+    EXPECT_LE(r.trace[i], r.trace[i - 1]);
+}
+
+TEST(Search, HeuristicStructureConvergesFasterThanEdges) {
+  // The decisive factor of Figure 12. Compare best-found after a small
+  // budget; the heuristic structure should not be worse.
+  const auto p = kernels::makeSoftmax(512, 128);
+  SearchConfig cfg;
+  cfg.budget = 120;
+  cfg.method = SearchMethod::SimulatedAnnealing;
+  std::vector<double> edges_best, heur_best;
+  for (std::uint64_t seed : {9u, 10u, 11u}) {
+    cfg.seed = seed;
+    cfg.structure = SpaceStructure::Edges;
+    edges_best.push_back(runSearch(p, machines::xeon(), cfg).best_runtime);
+    cfg.structure = SpaceStructure::Heuristic;
+    heur_best.push_back(runSearch(p, machines::xeon(), cfg).best_runtime);
+  }
+  EXPECT_LE(geomean(heur_best), geomean(edges_best) * 1.1);
+}
+
+TEST(Search, BestProgramIsSemanticallyValid) {
+  const auto p = kernels::makeSoftmax(8, 16);
+  SearchConfig cfg;
+  cfg.budget = 80;
+  const auto r = runSearch(p, machines::xeon(), cfg);
+  verify::VerifyOptions vo;
+  vo.rel_tol = 1e-4;
+  const auto v = verify::verifyEquivalent(p, r.best, vo);
+  EXPECT_TRUE(v.equivalent) << v.detail;
+}
+
+TEST(Search, ExpertSuggestionIsApplicable) {
+  const auto p = kernels::makeDot(64);
+  Rng rng(4);
+  transform::Action a;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(suggestExpertAction(p, machines::snitch().caps(), rng, a));
+    EXPECT_NO_THROW(a.apply(p));
+  }
+}
+
+}  // namespace
+}  // namespace perfdojo::search

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/common.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace perfdojo {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(Rng, UniformRealIn01) {
+  Rng r(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(3);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexBias) {
+  Rng r(4);
+  std::vector<double> w = {1.0, 3.0};
+  int hits = 0;
+  for (int i = 0; i < 4000; ++i)
+    if (r.weightedIndex(w) == 1) ++hits;
+  EXPECT_NEAR(hits / 4000.0, 0.75, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto s = v;
+  r.shuffle(s);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, v);
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geomean({8.0}), 8.0);
+  EXPECT_THROW(geomean({1.0, -1.0}), Error);
+  EXPECT_THROW(geomean({}), Error);
+}
+
+TEST(Stats, MeanMedianStd) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+  EXPECT_NEAR(stddev({2, 2, 2}), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(minOf({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(maxOf({3, 1, 2}), 3.0);
+}
+
+TEST(Strings, SplitTrimJoin) {
+  EXPECT_EQ(splitTokens("a  b c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(trim("  x \t"), "x");
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_TRUE(startsWith("buffer x", "buffer"));
+  EXPECT_TRUE(endsWith("a.cpp", ".cpp"));
+  EXPECT_EQ(splitLines("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Table, RendersAllCells) {
+  Table t({"k", "v"});
+  t.addRow({"alpha", "1"});
+  t.addRow("beta", {2.5});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_THROW(t.addRow({"only-one"}), Error);
+}
+
+TEST(Table, BarChart) {
+  const std::string s =
+      Table::barChart({{"a", 1.0}, {"b", 2.0}}, "x");
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("##"), std::string::npos);
+}
+
+TEST(Hash, Fnv1aStable) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+}
+
+}  // namespace
+}  // namespace perfdojo
