@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_rl.cpp" "bench/CMakeFiles/bench_ablation_rl.dir/bench_ablation_rl.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_rl.dir/bench_ablation_rl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/pd_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/pd_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/dojo/CMakeFiles/pd_dojo.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/pd_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/pd_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/machines/CMakeFiles/pd_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/pd_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pd_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

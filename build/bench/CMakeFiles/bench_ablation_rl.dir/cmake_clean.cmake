@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rl.dir/bench_ablation_rl.cpp.o"
+  "CMakeFiles/bench_ablation_rl.dir/bench_ablation_rl.cpp.o.d"
+  "bench_ablation_rl"
+  "bench_ablation_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_gh200.dir/bench_fig01_gh200.cpp.o"
+  "CMakeFiles/bench_fig01_gh200.dir/bench_fig01_gh200.cpp.o.d"
+  "bench_fig01_gh200"
+  "bench_fig01_gh200.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_gh200.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

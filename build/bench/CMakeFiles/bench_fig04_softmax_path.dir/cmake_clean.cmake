@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_softmax_path.dir/bench_fig04_softmax_path.cpp.o"
+  "CMakeFiles/bench_fig04_softmax_path.dir/bench_fig04_softmax_path.cpp.o.d"
+  "bench_fig04_softmax_path"
+  "bench_fig04_softmax_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_softmax_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_reuse_dims.dir/bench_fig05_reuse_dims.cpp.o"
+  "CMakeFiles/bench_fig05_reuse_dims.dir/bench_fig05_reuse_dims.cpp.o.d"
+  "bench_fig05_reuse_dims"
+  "bench_fig05_reuse_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_reuse_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_maxq.dir/bench_fig06_maxq.cpp.o"
+  "CMakeFiles/bench_fig06_maxq.dir/bench_fig06_maxq.cpp.o.d"
+  "bench_fig06_maxq"
+  "bench_fig06_maxq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_maxq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

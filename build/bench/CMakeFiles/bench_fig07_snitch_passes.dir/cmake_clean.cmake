@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_snitch_passes.dir/bench_fig07_snitch_passes.cpp.o"
+  "CMakeFiles/bench_fig07_snitch_passes.dir/bench_fig07_snitch_passes.cpp.o.d"
+  "bench_fig07_snitch_passes"
+  "bench_fig07_snitch_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_snitch_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

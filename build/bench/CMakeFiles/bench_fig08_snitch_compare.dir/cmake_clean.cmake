@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_snitch_compare.dir/bench_fig08_snitch_compare.cpp.o"
+  "CMakeFiles/bench_fig08_snitch_compare.dir/bench_fig08_snitch_compare.cpp.o.d"
+  "bench_fig08_snitch_compare"
+  "bench_fig08_snitch_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_snitch_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

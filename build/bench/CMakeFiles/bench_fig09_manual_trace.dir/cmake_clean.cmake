@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_manual_trace.dir/bench_fig09_manual_trace.cpp.o"
+  "CMakeFiles/bench_fig09_manual_trace.dir/bench_fig09_manual_trace.cpp.o.d"
+  "bench_fig09_manual_trace"
+  "bench_fig09_manual_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_manual_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_mi300a.dir/bench_fig13_mi300a.cpp.o"
+  "CMakeFiles/bench_fig13_mi300a.dir/bench_fig13_mi300a.cpp.o.d"
+  "bench_fig13_mi300a"
+  "bench_fig13_mi300a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mi300a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

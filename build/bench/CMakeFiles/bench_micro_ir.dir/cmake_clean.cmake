@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ir.dir/bench_micro_ir.cpp.o"
+  "CMakeFiles/bench_micro_ir.dir/bench_micro_ir.cpp.o.d"
+  "bench_micro_ir"
+  "bench_micro_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_representation.dir/bench_table2_representation.cpp.o"
+  "CMakeFiles/bench_table2_representation.dir/bench_table2_representation.cpp.o.d"
+  "bench_table2_representation"
+  "bench_table2_representation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_representation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

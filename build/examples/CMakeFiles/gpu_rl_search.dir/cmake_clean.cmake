@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_rl_search.dir/gpu_rl_search.cpp.o"
+  "CMakeFiles/gpu_rl_search.dir/gpu_rl_search.cpp.o.d"
+  "gpu_rl_search"
+  "gpu_rl_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_rl_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snitch_tuning.dir/snitch_tuning.cpp.o"
+  "CMakeFiles/snitch_tuning.dir/snitch_tuning.cpp.o.d"
+  "snitch_tuning"
+  "snitch_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snitch_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmax_journey.dir/softmax_journey.cpp.o"
+  "CMakeFiles/softmax_journey.dir/softmax_journey.cpp.o.d"
+  "softmax_journey"
+  "softmax_journey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmax_journey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("interp")
+subdirs("verify")
+subdirs("transform")
+subdirs("machines")
+subdirs("kernels")
+subdirs("codegen")
+subdirs("dojo")
+subdirs("baselines")
+subdirs("search")
+subdirs("rl")
+subdirs("libgen")
+subdirs("tools")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/pd_baselines.dir/baselines.cpp.o.d"
+  "libpd_baselines.a"
+  "libpd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

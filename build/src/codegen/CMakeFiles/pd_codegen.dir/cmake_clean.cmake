@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_codegen.dir/c_codegen.cpp.o"
+  "CMakeFiles/pd_codegen.dir/c_codegen.cpp.o.d"
+  "libpd_codegen.a"
+  "libpd_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_dojo.dir/dojo.cpp.o"
+  "CMakeFiles/pd_dojo.dir/dojo.cpp.o.d"
+  "libpd_dojo.a"
+  "libpd_dojo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_dojo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/pd_interp.dir/interpreter.cpp.o.d"
+  "CMakeFiles/pd_interp.dir/tensor.cpp.o"
+  "CMakeFiles/pd_interp.dir/tensor.cpp.o.d"
+  "libpd_interp.a"
+  "libpd_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpd_interp.a"
+)

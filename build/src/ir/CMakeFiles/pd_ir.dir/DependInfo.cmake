@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/pd_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/pd_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/canonical.cpp" "src/ir/CMakeFiles/pd_ir.dir/canonical.cpp.o" "gcc" "src/ir/CMakeFiles/pd_ir.dir/canonical.cpp.o.d"
+  "/root/repo/src/ir/index_expr.cpp" "src/ir/CMakeFiles/pd_ir.dir/index_expr.cpp.o" "gcc" "src/ir/CMakeFiles/pd_ir.dir/index_expr.cpp.o.d"
+  "/root/repo/src/ir/node.cpp" "src/ir/CMakeFiles/pd_ir.dir/node.cpp.o" "gcc" "src/ir/CMakeFiles/pd_ir.dir/node.cpp.o.d"
+  "/root/repo/src/ir/onnx_coverage.cpp" "src/ir/CMakeFiles/pd_ir.dir/onnx_coverage.cpp.o" "gcc" "src/ir/CMakeFiles/pd_ir.dir/onnx_coverage.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/ir/CMakeFiles/pd_ir.dir/parser.cpp.o" "gcc" "src/ir/CMakeFiles/pd_ir.dir/parser.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/pd_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/pd_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/ir/CMakeFiles/pd_ir.dir/program.cpp.o" "gcc" "src/ir/CMakeFiles/pd_ir.dir/program.cpp.o.d"
+  "/root/repo/src/ir/walk.cpp" "src/ir/CMakeFiles/pd_ir.dir/walk.cpp.o" "gcc" "src/ir/CMakeFiles/pd_ir.dir/walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_ir.dir/builder.cpp.o"
+  "CMakeFiles/pd_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/pd_ir.dir/canonical.cpp.o"
+  "CMakeFiles/pd_ir.dir/canonical.cpp.o.d"
+  "CMakeFiles/pd_ir.dir/index_expr.cpp.o"
+  "CMakeFiles/pd_ir.dir/index_expr.cpp.o.d"
+  "CMakeFiles/pd_ir.dir/node.cpp.o"
+  "CMakeFiles/pd_ir.dir/node.cpp.o.d"
+  "CMakeFiles/pd_ir.dir/onnx_coverage.cpp.o"
+  "CMakeFiles/pd_ir.dir/onnx_coverage.cpp.o.d"
+  "CMakeFiles/pd_ir.dir/parser.cpp.o"
+  "CMakeFiles/pd_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/pd_ir.dir/printer.cpp.o"
+  "CMakeFiles/pd_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/pd_ir.dir/program.cpp.o"
+  "CMakeFiles/pd_ir.dir/program.cpp.o.d"
+  "CMakeFiles/pd_ir.dir/walk.cpp.o"
+  "CMakeFiles/pd_ir.dir/walk.cpp.o.d"
+  "libpd_ir.a"
+  "libpd_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_kernels.dir/kernels.cpp.o"
+  "CMakeFiles/pd_kernels.dir/kernels.cpp.o.d"
+  "libpd_kernels.a"
+  "libpd_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

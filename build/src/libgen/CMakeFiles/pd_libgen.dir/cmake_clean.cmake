@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_libgen.dir/libgen.cpp.o"
+  "CMakeFiles/pd_libgen.dir/libgen.cpp.o.d"
+  "libpd_libgen.a"
+  "libpd_libgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_libgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_machines.dir/cpumodel.cpp.o"
+  "CMakeFiles/pd_machines.dir/cpumodel.cpp.o.d"
+  "CMakeFiles/pd_machines.dir/gpusim.cpp.o"
+  "CMakeFiles/pd_machines.dir/gpusim.cpp.o.d"
+  "CMakeFiles/pd_machines.dir/snitch.cpp.o"
+  "CMakeFiles/pd_machines.dir/snitch.cpp.o.d"
+  "libpd_machines.a"
+  "libpd_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_rl.dir/dqn.cpp.o"
+  "CMakeFiles/pd_rl.dir/dqn.cpp.o.d"
+  "CMakeFiles/pd_rl.dir/embedding.cpp.o"
+  "CMakeFiles/pd_rl.dir/embedding.cpp.o.d"
+  "CMakeFiles/pd_rl.dir/env.cpp.o"
+  "CMakeFiles/pd_rl.dir/env.cpp.o.d"
+  "CMakeFiles/pd_rl.dir/nn.cpp.o"
+  "CMakeFiles/pd_rl.dir/nn.cpp.o.d"
+  "CMakeFiles/pd_rl.dir/perfllm.cpp.o"
+  "CMakeFiles/pd_rl.dir/perfllm.cpp.o.d"
+  "CMakeFiles/pd_rl.dir/replay.cpp.o"
+  "CMakeFiles/pd_rl.dir/replay.cpp.o.d"
+  "CMakeFiles/pd_rl.dir/toy_mdp.cpp.o"
+  "CMakeFiles/pd_rl.dir/toy_mdp.cpp.o.d"
+  "libpd_rl.a"
+  "libpd_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

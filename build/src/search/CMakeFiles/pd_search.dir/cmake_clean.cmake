@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_search.dir/graph.cpp.o"
+  "CMakeFiles/pd_search.dir/graph.cpp.o.d"
+  "CMakeFiles/pd_search.dir/pass.cpp.o"
+  "CMakeFiles/pd_search.dir/pass.cpp.o.d"
+  "CMakeFiles/pd_search.dir/search.cpp.o"
+  "CMakeFiles/pd_search.dir/search.cpp.o.d"
+  "libpd_search.a"
+  "libpd_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_support.dir/rng.cpp.o"
+  "CMakeFiles/pd_support.dir/rng.cpp.o.d"
+  "CMakeFiles/pd_support.dir/stats.cpp.o"
+  "CMakeFiles/pd_support.dir/stats.cpp.o.d"
+  "CMakeFiles/pd_support.dir/strings.cpp.o"
+  "CMakeFiles/pd_support.dir/strings.cpp.o.d"
+  "CMakeFiles/pd_support.dir/table.cpp.o"
+  "CMakeFiles/pd_support.dir/table.cpp.o.d"
+  "libpd_support.a"
+  "libpd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfdojo.dir/perfdojo_cli.cpp.o"
+  "CMakeFiles/perfdojo.dir/perfdojo_cli.cpp.o.d"
+  "perfdojo"
+  "perfdojo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfdojo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/annotate.cpp" "src/transform/CMakeFiles/pd_transform.dir/annotate.cpp.o" "gcc" "src/transform/CMakeFiles/pd_transform.dir/annotate.cpp.o.d"
+  "/root/repo/src/transform/deps.cpp" "src/transform/CMakeFiles/pd_transform.dir/deps.cpp.o" "gcc" "src/transform/CMakeFiles/pd_transform.dir/deps.cpp.o.d"
+  "/root/repo/src/transform/history.cpp" "src/transform/CMakeFiles/pd_transform.dir/history.cpp.o" "gcc" "src/transform/CMakeFiles/pd_transform.dir/history.cpp.o.d"
+  "/root/repo/src/transform/loops.cpp" "src/transform/CMakeFiles/pd_transform.dir/loops.cpp.o" "gcc" "src/transform/CMakeFiles/pd_transform.dir/loops.cpp.o.d"
+  "/root/repo/src/transform/memory.cpp" "src/transform/CMakeFiles/pd_transform.dir/memory.cpp.o" "gcc" "src/transform/CMakeFiles/pd_transform.dir/memory.cpp.o.d"
+  "/root/repo/src/transform/reduce.cpp" "src/transform/CMakeFiles/pd_transform.dir/reduce.cpp.o" "gcc" "src/transform/CMakeFiles/pd_transform.dir/reduce.cpp.o.d"
+  "/root/repo/src/transform/transform.cpp" "src/transform/CMakeFiles/pd_transform.dir/transform.cpp.o" "gcc" "src/transform/CMakeFiles/pd_transform.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pd_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_transform.dir/annotate.cpp.o"
+  "CMakeFiles/pd_transform.dir/annotate.cpp.o.d"
+  "CMakeFiles/pd_transform.dir/deps.cpp.o"
+  "CMakeFiles/pd_transform.dir/deps.cpp.o.d"
+  "CMakeFiles/pd_transform.dir/history.cpp.o"
+  "CMakeFiles/pd_transform.dir/history.cpp.o.d"
+  "CMakeFiles/pd_transform.dir/loops.cpp.o"
+  "CMakeFiles/pd_transform.dir/loops.cpp.o.d"
+  "CMakeFiles/pd_transform.dir/memory.cpp.o"
+  "CMakeFiles/pd_transform.dir/memory.cpp.o.d"
+  "CMakeFiles/pd_transform.dir/reduce.cpp.o"
+  "CMakeFiles/pd_transform.dir/reduce.cpp.o.d"
+  "CMakeFiles/pd_transform.dir/transform.cpp.o"
+  "CMakeFiles/pd_transform.dir/transform.cpp.o.d"
+  "libpd_transform.a"
+  "libpd_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_verify.dir/verifier.cpp.o"
+  "CMakeFiles/pd_verify.dir/verifier.cpp.o.d"
+  "libpd_verify.a"
+  "libpd_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

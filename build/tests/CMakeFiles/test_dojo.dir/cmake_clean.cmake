@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dojo.dir/test_dojo.cpp.o"
+  "CMakeFiles/test_dojo.dir/test_dojo.cpp.o.d"
+  "test_dojo"
+  "test_dojo.pdb"
+  "test_dojo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dojo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/test_graph.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/pd_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/pd_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/machines/CMakeFiles/pd_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/pd_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pd_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

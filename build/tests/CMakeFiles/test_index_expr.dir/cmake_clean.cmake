@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_expr.dir/test_index_expr.cpp.o"
+  "CMakeFiles/test_index_expr.dir/test_index_expr.cpp.o.d"
+  "test_index_expr"
+  "test_index_expr.pdb"
+  "test_index_expr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_core.dir/test_ir_core.cpp.o"
+  "CMakeFiles/test_ir_core.dir/test_ir_core.cpp.o.d"
+  "test_ir_core"
+  "test_ir_core.pdb"
+  "test_ir_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_libgen.dir/test_libgen.cpp.o"
+  "CMakeFiles/test_libgen.dir/test_libgen.cpp.o.d"
+  "test_libgen"
+  "test_libgen.pdb"
+  "test_libgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_libgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

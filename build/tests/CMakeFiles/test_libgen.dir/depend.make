@@ -1,0 +1,2 @@
+# Empty dependencies file for test_libgen.
+# This may be replaced when dependencies are built.

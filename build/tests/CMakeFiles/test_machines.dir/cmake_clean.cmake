@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machines.dir/test_machines.cpp.o"
+  "CMakeFiles/test_machines.dir/test_machines.cpp.o.d"
+  "test_machines"
+  "test_machines.pdb"
+  "test_machines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

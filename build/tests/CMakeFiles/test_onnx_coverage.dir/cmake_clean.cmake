@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_onnx_coverage.dir/test_onnx_coverage.cpp.o"
+  "CMakeFiles/test_onnx_coverage.dir/test_onnx_coverage.cpp.o.d"
+  "test_onnx_coverage"
+  "test_onnx_coverage.pdb"
+  "test_onnx_coverage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_onnx_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

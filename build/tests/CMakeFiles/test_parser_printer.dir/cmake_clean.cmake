@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parser_printer.dir/test_parser_printer.cpp.o"
+  "CMakeFiles/test_parser_printer.dir/test_parser_printer.cpp.o.d"
+  "test_parser_printer"
+  "test_parser_printer.pdb"
+  "test_parser_printer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parser_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

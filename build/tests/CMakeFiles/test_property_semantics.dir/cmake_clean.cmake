@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_semantics.dir/test_property_semantics.cpp.o"
+  "CMakeFiles/test_property_semantics.dir/test_property_semantics.cpp.o.d"
+  "test_property_semantics"
+  "test_property_semantics.pdb"
+  "test_property_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl.dir/test_rl.cpp.o"
+  "CMakeFiles/test_rl.dir/test_rl.cpp.o.d"
+  "test_rl"
+  "test_rl.pdb"
+  "test_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

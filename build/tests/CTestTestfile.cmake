@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_index_expr[1]_include.cmake")
+include("/root/repo/build/tests/test_ir_core[1]_include.cmake")
+include("/root/repo/build/tests/test_parser_printer[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_deps[1]_include.cmake")
+include("/root/repo/build/tests/test_transforms[1]_include.cmake")
+include("/root/repo/build/tests/test_property_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_history[1]_include.cmake")
+include("/root/repo/build/tests/test_onnx_coverage[1]_include.cmake")
+include("/root/repo/build/tests/test_machines[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_dojo[1]_include.cmake")
+include("/root/repo/build/tests/test_search[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_rl[1]_include.cmake")
+include("/root/repo/build/tests/test_libgen[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
