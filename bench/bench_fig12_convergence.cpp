@@ -1,6 +1,8 @@
 // Figure 12: convergence speed of simulated annealing vs random sampling
 // across the two search-space structures (edges-based vs heuristic-based).
 // The space structure, not the method, is the decisive factor.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -23,7 +25,10 @@ int main() {
   const auto& m = machines::xeon();
   const auto kernel = kernels::makeSoftmax(4096, 512);
   const int budget = bench::scaled(240);
-  const std::vector<int> checkpoints = {10, 25, 50, 100, budget};
+  // Clamp to the budget so a small PERFDOJO_BENCH_SCALE cannot push a
+  // checkpoint past the end of the trace.
+  std::vector<int> checkpoints = {10, 25, 50, 100, budget};
+  for (int& c : checkpoints) c = std::min(c, budget);
   const std::vector<std::uint64_t> seeds = {3, 4, 5};
 
   Table t({"method / structure", "@10", "@25", "@50", "@100",
@@ -34,6 +39,8 @@ int main() {
     for (auto structure : {SpaceStructure::Edges, SpaceStructure::Heuristic}) {
       // Average best-so-far traces over seeds.
       std::vector<double> avg(static_cast<std::size_t>(budget), 0.0);
+      std::int64_t requested = 0, hits = 0, machine_evals = 0;
+      double wall_ms = 0;
       for (auto seed : seeds) {
         SearchConfig cfg;
         cfg.method = method;
@@ -43,21 +50,33 @@ int main() {
         const auto r = search::runSearch(kernel, m, cfg);
         for (std::size_t i = 0; i < avg.size(); ++i)
           avg[i] += r.trace[std::min(i, r.trace.size() - 1)] / seeds.size();
+        requested += r.stats.evals_requested;
+        hits += r.stats.cache_hits;
+        machine_evals += r.stats.machine_evals;
+        wall_ms += r.stats.wall_ms;
         if (structure == SpaceStructure::Edges)
           best_edges = std::min(best_edges, r.best_runtime);
         else
           best_heur = std::min(best_heur, r.best_runtime);
       }
+      std::printf("  [%s/%s] eval layer: %lld requested, %lld cache hits, "
+                  "%lld machine evals, %.0f ms total\n",
+                  search::searchMethodName(method),
+                  search::spaceStructureName(structure),
+                  static_cast<long long>(requested),
+                  static_cast<long long>(hits),
+                  static_cast<long long>(machine_evals), wall_ms);
       std::vector<std::string> row = {
           std::string(search::searchMethodName(method)) + " / " +
           search::spaceStructureName(structure)};
       for (int c : checkpoints)
         row.push_back(fmt(avg[static_cast<std::size_t>(c - 1)], 3));
       t.addRow(row);
+      const std::size_t at50 = static_cast<std::size_t>(std::min(50, budget)) - 1;
       if (structure == SpaceStructure::Edges)
-        edges_at50.push_back(avg[49]);
+        edges_at50.push_back(avg[at50]);
       else
-        heur_at50.push_back(avg[49]);
+        heur_at50.push_back(avg[at50]);
     }
   }
   std::printf("%s\n(best-so-far modeled runtime in seconds, averaged over %zu "

@@ -1,5 +1,6 @@
 #include "dojo/dojo.h"
 
+#include "search/evalcache.h"
 #include "support/common.h"
 #include "verify/verifier.h"
 
@@ -11,8 +12,13 @@ Dojo::Dojo(ir::Program kernel, const machines::Machine& machine,
       opts_(opts),
       history_(std::move(kernel)),
       best_program_(history_.original()) {
-  runtime_ = machine_->evaluate(program());
+  runtime_ = evaluate(program());
   best_runtime_ = runtime_;
+}
+
+double Dojo::evaluate(const ir::Program& p) const {
+  return opts_.eval_cache ? opts_.eval_cache->evaluate(*machine_, p)
+                          : machine_->evaluate(p);
 }
 
 std::vector<transform::Action> Dojo::moves() const {
@@ -32,13 +38,13 @@ void Dojo::play(const transform::Action& a) {
 
 void Dojo::undo() {
   history_.undo();
-  runtime_ = machine_->evaluate(program());
+  runtime_ = evaluate(program());
   // best_* intentionally kept: undoing exploration does not forget the best
   // implementation found (the game's objective is the best state visited).
 }
 
 void Dojo::refresh() {
-  runtime_ = machine_->evaluate(program());
+  runtime_ = evaluate(program());
   if (runtime_ < best_runtime_) {
     best_runtime_ = runtime_;
     best_program_ = program();

@@ -12,6 +12,10 @@
 #include "transform/history.h"
 #include "transform/transform.h"
 
+namespace perfdojo::search {
+class EvalCache;
+}
+
 namespace perfdojo::dojo {
 
 struct DojoOptions {
@@ -21,6 +25,9 @@ struct DojoOptions {
   bool verify_moves = false;
   /// Reward scaling constant `c` in r = c / T (Section 3.1).
   double reward_scale = 1e-6;
+  /// Optional shared memo table: states revisited during play (undo paths,
+  /// transposed move orders, other games on the same kernel) are priced once.
+  search::EvalCache* eval_cache = nullptr;
 };
 
 class Dojo {
@@ -59,6 +66,7 @@ class Dojo {
 
  private:
   void refresh();
+  double evaluate(const ir::Program& p) const;
 
   const machines::Machine* machine_;
   DojoOptions opts_;

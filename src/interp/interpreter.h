@@ -22,6 +22,10 @@ struct ExecStats {
 
 /// Runs the program on the given memory. Inputs must be initialized by the
 /// caller; outputs are left in memory. Returns execution statistics.
+///
+/// Re-entrant: each call executes with its own local state, so concurrent
+/// executions of different (program, memory) pairs are safe — callers in
+/// the parallel evaluation layer rely on this.
 ExecStats execute(const ir::Program& p, Memory& mem);
 
 /// Convenience: fresh memory, random inputs with the given seed, execute,

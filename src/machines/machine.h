@@ -29,6 +29,13 @@ class Machine {
   virtual const transform::MachineCaps& caps() const = 0;
 
   /// Modeled runtime in seconds for one execution of the program.
+  ///
+  /// Re-entrancy contract: evaluate() must be a pure function of `p` with no
+  /// shared mutable state — the parallel evaluation layer (search::
+  /// ParallelEvaluator) calls it concurrently from worker threads, and the
+  /// memo table (search::EvalCache) assumes two evaluations of canonically
+  /// identical programs return the same cost. All in-tree models satisfy
+  /// this by construction: each call builds its own local analyzer.
   virtual double evaluate(const ir::Program& p) const = 0;
 
   /// Runtime of a perfect implementation (used for %-of-peak reporting).

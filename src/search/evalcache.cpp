@@ -1,0 +1,80 @@
+#include "search/evalcache.h"
+
+#include "ir/canonical.h"
+#include "support/common.h"
+
+namespace perfdojo::search {
+
+std::uint64_t EvalCache::key(const machines::Machine& m, std::uint64_t h) {
+  // Second-round FNV over the program hash seeded by the machine name keeps
+  // (machine A, program X) and (machine B, program X) apart.
+  return fnv1a(&h, sizeof(h), fnv1a(m.name()));
+}
+
+double EvalCache::evaluate(const machines::Machine& m, const ir::Program& p) {
+  return evaluateHashed(m, ir::canonicalHash(p), p);
+}
+
+double EvalCache::evaluateHashed(const machines::Machine& m,
+                                 std::uint64_t canonical_hash,
+                                 const ir::Program& p) {
+  ++requests_;
+  const std::uint64_t k = key(m, canonical_hash);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(k);
+    if (it != map_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Evaluate outside the lock: the models are pure, and holding the mutex
+  // across an evaluation would serialize the worker pool.
+  const double cost = m.evaluate(p);
+  ++misses_;
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.emplace(k, cost);
+  return cost;
+}
+
+bool EvalCache::lookup(const machines::Machine& m, std::uint64_t canonical_hash,
+                       double& cost) const {
+  const std::uint64_t k = key(m, canonical_hash);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(k);
+  if (it == map_.end()) return false;
+  cost = it->second;
+  return true;
+}
+
+void EvalCache::insert(const machines::Machine& m, std::uint64_t canonical_hash,
+                       double cost) {
+  const std::uint64_t k = key(m, canonical_hash);
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.emplace(k, cost);
+}
+
+EvalCacheStats EvalCache::stats() const {
+  EvalCacheStats s;
+  s.requests = requests_.load();
+  s.hits = hits_.load();
+  s.misses = misses_.load();
+  std::lock_guard<std::mutex> lk(mu_);
+  s.entries = map_.size();
+  return s;
+}
+
+std::size_t EvalCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+void EvalCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.clear();
+  requests_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace perfdojo::search

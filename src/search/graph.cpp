@@ -4,41 +4,89 @@
 #include <deque>
 
 #include "ir/canonical.h"
+#include "search/evalcache.h"
+#include "search/parallel_eval.h"
 #include "support/common.h"
 #include "support/strings.h"
 
 namespace perfdojo::search {
 
+namespace {
+
+double nodeCost(const machines::Machine& m, EvalCache* cache,
+                std::uint64_t hash, const ir::Program& p) {
+  return cache ? cache->evaluateHashed(m, hash, p) : m.evaluate(p);
+}
+
+/// A candidate child produced by the apply phase, before deduplication.
+struct Candidate {
+  ir::Program program;
+  std::uint64_t hash = 0;
+  std::string label;
+};
+
+}  // namespace
+
 TransformationGraph::TransformationGraph(const ir::Program& root,
                                          const machines::Machine& m,
-                                         int max_depth, std::size_t max_nodes) {
+                                         int max_depth, std::size_t max_nodes,
+                                         EvalCache* cache,
+                                         ParallelEvaluator* pool) {
   root_hash_ = ir::canonicalHash(root);
-  nodes_[root_hash_] = {root_hash_, root, m.evaluate(root), 0};
-  std::deque<std::uint64_t> frontier{root_hash_};
+  nodes_[root_hash_] = {root_hash_, root,
+                        nodeCost(m, cache, root_hash_, root), 0};
+  std::deque<std::uint64_t> frontier;
+  if (max_depth > 0) frontier.push_back(root_hash_);
   while (!frontier.empty() && nodes_.size() < max_nodes) {
     const std::uint64_t h = frontier.front();
     frontier.pop_front();
     const GraphNode& n = nodes_.at(h);
-    if (n.depth >= max_depth) continue;
     const int depth = n.depth;
     // Copy the program out: expanding mutates the node map.
     const ir::Program p = n.program;
-    for (const auto& a : transform::allActions(p, m.caps())) {
+    const auto actions = transform::allActions(p, m.caps());
+
+    // Phase 1: apply + canonical-hash every action of this node. Applies
+    // are pure (value-semantic programs), so they run concurrently.
+    std::vector<Candidate> cands(actions.size());
+    auto expand = [&](std::size_t i) {
+      cands[i].program = actions[i].apply(p);
+      cands[i].hash = ir::canonicalHash(cands[i].program);
+      cands[i].label = actions[i].describe(p);
+    };
+    if (pool)
+      pool->forEach(cands.size(), expand);
+    else
+      for (std::size_t i = 0; i < cands.size(); ++i) expand(i);
+
+    // Phase 2 (serial, in action order): record edges, deduplicate by
+    // canonical hash BEFORE any evaluation, insert new nodes, and enqueue
+    // only nodes that are strictly inside the depth limit.
+    std::vector<std::uint64_t> fresh;
+    for (auto& c : cands) {
       if (nodes_.size() >= max_nodes) break;
-      ir::Program q = a.apply(p);
-      const std::uint64_t qh = ir::canonicalHash(q);
-      const std::string label = a.describe(p);
-      edges_.push_back({h, qh, label});
-      if (nodes_.count(qh)) continue;  // reached earlier by another path
+      edges_.push_back({h, c.hash, c.label});
+      if (nodes_.count(c.hash)) continue;  // reached earlier by another path
       GraphNode node;
-      node.hash = qh;
-      node.program = std::move(q);
-      node.runtime = m.evaluate(node.program);
+      node.hash = c.hash;
+      node.program = std::move(c.program);
       node.depth = depth + 1;
-      nodes_[qh] = std::move(node);
-      parent_[qh] = {h, label};
-      frontier.push_back(qh);
+      parent_[c.hash] = {h, c.label};
+      if (node.depth < max_depth) frontier.push_back(c.hash);
+      nodes_[c.hash] = std::move(node);
+      fresh.push_back(c.hash);
     }
+
+    // Phase 3: price the unique new nodes, concurrently when possible. The
+    // map is not resized here, so each worker writes a distinct entry.
+    auto price = [&](std::size_t i) {
+      GraphNode& node = nodes_.at(fresh[i]);
+      node.runtime = nodeCost(m, cache, node.hash, node.program);
+    };
+    if (pool)
+      pool->forEach(fresh.size(), price);
+    else
+      for (std::size_t i = 0; i < fresh.size(); ++i) price(i);
   }
 }
 

@@ -13,6 +13,9 @@
 
 namespace perfdojo::search {
 
+class EvalCache;
+class ParallelEvaluator;
+
 struct GraphNode {
   std::uint64_t hash = 0;
   ir::Program program;
@@ -29,9 +32,18 @@ struct GraphEdge {
 class TransformationGraph {
  public:
   /// Breadth-first expansion from `root` up to `max_depth`, capping the
-  /// total node count (distinct canonical programs).
+  /// total node count (distinct canonical programs). Each node is evaluated
+  /// exactly once: duplicate-hash candidates are deduplicated *before* any
+  /// evaluation, and leaves at the depth limit are never enqueued.
+  ///
+  /// An optional EvalCache shares costs with other consumers (a search run,
+  /// a Dojo session); an optional ParallelEvaluator prices each expansion
+  /// level's unique new nodes concurrently. Both are purely accelerative:
+  /// the resulting graph is identical with or without them.
   TransformationGraph(const ir::Program& root, const machines::Machine& m,
-                      int max_depth, std::size_t max_nodes);
+                      int max_depth, std::size_t max_nodes,
+                      EvalCache* cache = nullptr,
+                      ParallelEvaluator* pool = nullptr);
 
   std::size_t nodeCount() const { return nodes_.size(); }
   std::size_t edgeCount() const { return edges_.size(); }

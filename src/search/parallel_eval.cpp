@@ -1,0 +1,122 @@
+#include "search/parallel_eval.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "search/evalcache.h"
+#include "support/common.h"
+
+namespace perfdojo::search {
+
+struct ParallelEvaluator::Impl {
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::vector<std::thread> workers;
+
+  // State of the batch in flight (valid while generation is current).
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::size_t finished_workers = 0;
+  std::uint64_t generation = 0;
+  std::exception_ptr error;
+  bool stop = false;
+};
+
+ParallelEvaluator::ParallelEvaluator(int threads) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  threads_ = threads;
+  impl_ = new Impl;
+  // The calling thread joins every batch, so spawn threads-1 workers.
+  for (int i = 1; i < threads_; ++i)
+    impl_->workers.emplace_back([this] { workerLoop(); });
+}
+
+ParallelEvaluator::~ParallelEvaluator() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ParallelEvaluator::runIndices() {
+  const auto& fn = *impl_->fn;
+  const std::size_t total = impl_->n;
+  std::size_t i;
+  while ((i = impl_->next.fetch_add(1)) < total) {
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      if (!impl_->error) impl_->error = std::current_exception();
+      impl_->next.store(total);  // drain the rest of the batch
+    }
+  }
+}
+
+void ParallelEvaluator::workerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->cv_work.wait(
+        lk, [&] { return impl_->stop || impl_->generation != seen; });
+    if (impl_->stop) return;
+    seen = impl_->generation;
+    lk.unlock();
+    runIndices();
+    lk.lock();
+    if (++impl_->finished_workers == impl_->workers.size())
+      impl_->cv_done.notify_all();
+  }
+}
+
+void ParallelEvaluator::forEach(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (impl_->workers.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->fn = &fn;
+    impl_->n = n;
+    impl_->next.store(0);
+    impl_->finished_workers = 0;
+    impl_->error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->cv_work.notify_all();
+  runIndices();
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->cv_done.wait(
+      lk, [&] { return impl_->finished_workers == impl_->workers.size(); });
+  impl_->fn = nullptr;
+  if (impl_->error) {
+    auto e = impl_->error;
+    impl_->error = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+std::vector<double> ParallelEvaluator::evaluateBatch(
+    const machines::Machine& m, const std::vector<ir::Program>& programs,
+    EvalCache* cache) {
+  std::vector<double> out(programs.size(), 0.0);
+  forEach(programs.size(), [&](std::size_t i) {
+    out[i] = cache ? cache->evaluate(m, programs[i]) : m.evaluate(programs[i]);
+  });
+  return out;
+}
+
+}  // namespace perfdojo::search

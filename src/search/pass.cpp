@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ir/walk.h"
+#include "search/evalcache.h"
 #include "transform/deps.h"
 #include "support/common.h"
 
@@ -436,6 +437,23 @@ History greedyPass(ir::Program p, const machines::Machine& m) {
 
 History heuristicPass(ir::Program p, const machines::Machine& m) {
   return hardwarePass(std::move(p), m, /*expert=*/true);
+}
+
+History bestPass(ir::Program p, const machines::Machine& m, EvalCache* cache) {
+  auto cost = [&](const History& h) {
+    return cache ? cache->evaluate(m, h.current()) : m.evaluate(h.current());
+  };
+  History best = naivePass(p, m);
+  double best_cost = cost(best);
+  for (auto* pass : {&greedyPass, &heuristicPass}) {
+    History h = (*pass)(p, m);
+    const double c = cost(h);
+    if (c < best_cost) {
+      best_cost = c;
+      best = std::move(h);
+    }
+  }
+  return best;
 }
 
 }  // namespace perfdojo::search

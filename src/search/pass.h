@@ -17,11 +17,19 @@
 
 namespace perfdojo::search {
 
+class EvalCache;
+
 /// Applies the pass and returns the full transformation history (the
 /// sequence is inspectable and replayable).
 transform::History naivePass(ir::Program p, const machines::Machine& m);
 transform::History greedyPass(ir::Program p, const machines::Machine& m);
 transform::History heuristicPass(ir::Program p, const machines::Machine& m);
+
+/// Runs all three passes and returns the history with the lowest machine
+/// cost. Evaluations go through `cache` when provided — the pass results
+/// frequently coincide with states a search run has already priced.
+transform::History bestPass(ir::Program p, const machines::Machine& m,
+                            EvalCache* cache = nullptr);
 
 /// Helpers shared by passes and the heuristic search neighborhoods.
 namespace detail {

@@ -1,9 +1,17 @@
 #include "search/search.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <mutex>
+#include <optional>
+#include <unordered_set>
 
+#include "ir/canonical.h"
 #include "ir/walk.h"
+#include "search/evalcache.h"
+#include "search/parallel_eval.h"
 #include "search/pass.h"
 #include "support/common.h"
 
@@ -21,6 +29,15 @@ const char* searchMethodName(SearchMethod m) {
 
 const char* spaceStructureName(SpaceStructure s) {
   return s == SpaceStructure::Edges ? "edges" : "heuristic";
+}
+
+bool saAccept(double delta, double temp, Rng& rng) {
+  if (delta <= 0) return true;
+  return rng.uniformReal() < std::exp(-delta / std::max(temp, 1e-6));
+}
+
+double saTemperature(double t0, double decay, std::int64_t evals) {
+  return t0 * std::pow(decay, static_cast<double>(evals));
 }
 
 bool suggestExpertAction(const ir::Program& p, const MachineCaps& caps,
@@ -66,6 +83,88 @@ bool suggestExpertAction(const ir::Program& p, const MachineCaps& caps,
 
 namespace {
 
+/// Cost oracle of one search run: routes evaluations through the shared memo
+/// table and keeps the SearchStats accounting. cost() is re-entrant (atomic
+/// counters, mutex-guarded unique-hash set), so batches may call it from
+/// ParallelEvaluator workers.
+class Eval {
+ public:
+  Eval(const machines::Machine& m, EvalCache* cache, ParallelEvaluator* pool)
+      : m_(m), cache_(cache), pool_(pool) {}
+
+  const machines::Machine& machine() const { return m_; }
+
+  /// In-flight cap for deferred evaluation batches. Thread-count dependent,
+  /// which is safe: batch boundaries never influence search decisions.
+  std::size_t batchLimit() const {
+    return pool_ ? static_cast<std::size_t>(pool_->threads()) * 2 : 1;
+  }
+
+  double cost(const ir::Program& p) {
+    ++requested_;
+    if (!cache_) {
+      ++machine_evals_;
+      return m_.evaluate(p);
+    }
+    const std::uint64_t h = ir::canonicalHash(p);
+    noteUnique(h);
+    double v;
+    if (cache_->lookup(m_, h, v)) {
+      ++hits_;
+      return v;
+    }
+    v = m_.evaluate(p);
+    ++machine_evals_;
+    cache_->insert(m_, h, v);
+    return v;
+  }
+
+  /// Prices programs[i] into out[i], concurrently when a pool is available.
+  void costs(const std::vector<ir::Program>& programs,
+             std::vector<double>& out) {
+    out.assign(programs.size(), 0.0);
+    if (pool_ && programs.size() > 1) {
+      pool_->forEach(programs.size(),
+                     [&](std::size_t i) { out[i] = cost(programs[i]); });
+    } else {
+      for (std::size_t i = 0; i < programs.size(); ++i)
+        out[i] = cost(programs[i]);
+    }
+  }
+
+  /// An evaluation served from a per-state memo without re-hashing: still a
+  /// requested evaluation and still a cache hit.
+  void countMemoHit() {
+    ++requested_;
+    ++hits_;
+  }
+
+  bool memoizing() const { return cache_ != nullptr; }
+
+  void fillStats(SearchStats& s) const {
+    s.evals_requested = requested_.load();
+    s.cache_hits = hits_.load();
+    s.machine_evals = machine_evals_.load();
+    s.unique_programs = static_cast<std::int64_t>(seen_.size());
+    s.threads_used = pool_ ? pool_->threads() : 1;
+  }
+
+ private:
+  void noteUnique(std::uint64_t h) {
+    std::lock_guard<std::mutex> lk(seen_mu_);
+    seen_.insert(h);
+  }
+
+  const machines::Machine& m_;
+  EvalCache* cache_;
+  ParallelEvaluator* pool_;
+  std::atomic<std::int64_t> requested_{0};
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> machine_evals_{0};
+  mutable std::mutex seen_mu_;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
 struct Tracker {
   ir::Program best;
   double best_runtime = 1e300;
@@ -75,7 +174,7 @@ struct Tracker {
 
   explicit Tracker(int b) : budget(b) {}
 
-  bool exhausted() const { return evals >= budget; }
+  bool exhausted(int in_flight = 0) const { return evals + in_flight >= budget; }
 
   void record(const ir::Program& p, double runtime) {
     ++evals;
@@ -85,69 +184,160 @@ struct Tracker {
     }
     trace.push_back(best_runtime);
   }
+
+  /// Record an evaluation whose program is materialized lazily — used by the
+  /// memoized annealing path, where a repeated candidate cannot improve on
+  /// the best (its first evaluation already set best_runtime <= runtime).
+  void record(double runtime, const std::function<ir::Program()>& make) {
+    ++evals;
+    if (runtime < best_runtime) {
+      best_runtime = runtime;
+      best = make();
+    }
+    trace.push_back(best_runtime);
+  }
+};
+
+/// Deferred candidate evaluation: proposals queue up with their programs and
+/// are priced in one concurrent batch; results are recorded in submission
+/// order, so the trace and best-program tracking are identical to a fully
+/// serial run.
+class DeferredEvals {
+ public:
+  DeferredEvals(Eval& ev, Tracker& tr) : ev_(ev), tr_(tr) {}
+
+  std::size_t inFlight() const { return programs_.size(); }
+
+  /// Queues a candidate; on_cost receives its runtime at flush time (used to
+  /// fill the sampling pool entry it belongs to).
+  void submit(ir::Program p, std::function<void(double)> on_cost) {
+    programs_.push_back(std::move(p));
+    on_cost_.push_back(std::move(on_cost));
+  }
+
+  void flush() {
+    if (programs_.empty()) return;
+    std::vector<double> costs;
+    ev_.costs(programs_, costs);
+    for (std::size_t i = 0; i < programs_.size(); ++i) {
+      tr_.record(programs_[i], costs[i]);
+      on_cost_[i](costs[i]);
+    }
+    programs_.clear();
+    on_cost_.clear();
+  }
+
+ private:
+  Eval& ev_;
+  Tracker& tr_;
+  std::vector<ir::Program> programs_;
+  std::vector<std::function<void(double)>> on_cost_;
 };
 
 // --- Edges structure: nodes are programs, neighbors are single actions. ---
 
+constexpr double kPendingRuntime = -1.0;
+
 struct PoolEntry {
   ir::Program program;
-  double runtime;
+  double runtime;         // kPendingRuntime while the evaluation is in flight
   double parent_runtime;  // cost used for sampling (paper Section 4.2.2)
 };
 
 void randomSamplingEdges(const ir::Program& kernel,
                          const machines::Machine& m, const SearchConfig& cfg,
-                         Tracker& tr) {
+                         Eval& ev, Tracker& tr) {
   Rng rng(cfg.seed);
   std::vector<PoolEntry> pool;
-  const double t0 = m.evaluate(kernel);
+  const double t0 = ev.cost(kernel);
   tr.record(kernel, t0);
   pool.push_back({kernel, t0, t0});
-  while (!tr.exhausted()) {
+  DeferredEvals batch(ev, tr);
+  // Parent draws depend only on parent_runtime values (known at submission
+  // time), never on a candidate's own cost, so evaluations can lag behind
+  // proposals by a full batch without changing any decision.
+  int barren = 0;  // consecutive proposals that yielded no candidate
+  while (!tr.exhausted(static_cast<int>(batch.inFlight())) && barren < 1024) {
     // Sample proportionally to 1/parent_runtime: children of fast parents.
     std::vector<double> w;
     w.reserve(pool.size());
     for (const auto& e : pool) w.push_back(1.0 / e.parent_runtime);
-    const auto& parent = pool[rng.weightedIndex(w)];
+    const std::size_t pi = rng.weightedIndex(w);
+    if (pool[pi].runtime == kPendingRuntime) batch.flush();
+    const auto& parent = pool[pi];
     auto actions = transform::allActions(parent.program, m.caps());
-    if (actions.empty()) continue;
+    if (actions.empty()) {
+      ++barren;  // a dead-end parent may be drawn forever; bound the retries
+      continue;
+    }
+    barren = 0;
     const auto& a = actions[rng.uniform(actions.size())];
     ir::Program child = a.apply(parent.program);
-    const double rt = m.evaluate(child);
-    tr.record(child, rt);
-    pool.push_back({std::move(child), rt, parent.runtime});
-    if (pool.size() > 4096) pool.erase(pool.begin(), pool.begin() + 1024);
+    const std::size_t slot = pool.size();
+    pool.push_back({child, kPendingRuntime, parent.runtime});
+    batch.submit(std::move(child),
+                 [&pool, slot](double rt) { pool[slot].runtime = rt; });
+    if (batch.inFlight() >= ev.batchLimit()) batch.flush();
+    if (pool.size() > 4096) {
+      batch.flush();  // resolve slot indices before compacting
+      pool.erase(pool.begin(), pool.begin() + 1024);
+    }
   }
+  batch.flush();
 }
 
 void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
-                    const SearchConfig& cfg, Tracker& tr) {
+                    const SearchConfig& cfg, Eval& ev, Tracker& tr) {
   Rng rng(cfg.seed);
   ir::Program cur = kernel;
-  double cur_rt = m.evaluate(cur);
+  double cur_rt = ev.cost(cur);
   const double base_rt = cur_rt;
   tr.record(cur, cur_rt);
   double temp = cfg.sa_t0;
   int steps = 0;
+  // The action list of `cur` is stable while `cur` is unchanged (enumeration
+  // is deterministic), so it is computed once per accepted state, and each
+  // action's candidate cost is memoized per state: a re-drawn action costs a
+  // table lookup instead of an apply + evaluate. Cost values are identical,
+  // so the decision sequence matches a memo-free run exactly.
+  std::vector<Action> actions = transform::allActions(cur, m.caps());
+  std::vector<double> action_cost;
+  action_cost.assign(actions.size(), kPendingRuntime);
   while (!tr.exhausted()) {
-    auto actions = transform::allActions(cur, m.caps());
     if (actions.empty() || steps >= cfg.max_steps) {
       cur = kernel;  // restart from the source program
       cur_rt = base_rt;
       steps = 0;
+      actions = transform::allActions(cur, m.caps());
+      action_cost.assign(actions.size(), kPendingRuntime);
+      if (actions.empty()) break;  // nothing applicable at the root: done
       continue;
     }
-    const auto& a = actions[rng.uniform(actions.size())];
-    ir::Program cand = a.apply(cur);
-    const double rt = m.evaluate(cand);
-    tr.record(cand, rt);
+    const std::size_t ai = rng.uniform(actions.size());
+    double rt;
+    std::optional<ir::Program> cand;
+    if (ev.memoizing() && action_cost[ai] != kPendingRuntime) {
+      // Re-drawn action on an unchanged state: the cost is known, so skip
+      // the apply + hash + evaluate entirely. Its first evaluation already
+      // set best_runtime <= rt, so the lazy record can never materialize.
+      rt = action_cost[ai];
+      ev.countMemoHit();
+      tr.record(rt, [&] { return actions[ai].apply(cur); });
+    } else {
+      cand = actions[ai].apply(cur);
+      rt = ev.cost(*cand);
+      action_cost[ai] = rt;
+      tr.record(*cand, rt);
+    }
     const double delta = (rt - cur_rt) / base_rt;
-    if (delta <= 0 || rng.uniformReal() < std::exp(-delta / std::max(temp, 1e-6))) {
-      cur = std::move(cand);
+    if (saAccept(delta, temp, rng)) {
+      cur = cand ? std::move(*cand) : actions[ai].apply(cur);
       cur_rt = rt;
       ++steps;
+      actions = transform::allActions(cur, m.caps());
+      action_cost.assign(actions.size(), kPendingRuntime);
     }
-    temp *= cfg.sa_decay;
+    temp *= cfg.sa_decay;  // decays once per recorded evaluation
   }
 }
 
@@ -166,7 +356,6 @@ bool mutateSequence(const ir::Program& kernel, const machines::Machine& m,
                     Rng& rng, const std::vector<Step>& steps, int max_steps,
                     std::vector<Step>& out) {
   const double r = rng.uniformReal();
-  History h(kernel);
   History::ReplayResult rr;
   if (steps.empty() || (r < 0.6 && static_cast<int>(steps.size()) < max_steps)) {
     // Append: replay then push an expert-biased action.
@@ -197,15 +386,15 @@ bool mutateSequence(const ir::Program& kernel, const machines::Machine& m,
   return true;
 }
 
-/// Evaluates a sequence; false if any step fails to replay.
-bool evalSequence(const ir::Program& kernel, const machines::Machine& m,
-                  const std::vector<Step>& steps, ir::Program& prog,
-                  double& rt) {
+/// Replays a sequence; false if any step fails to replay. The cost is NOT
+/// computed here — callers price the returned program through the
+/// evaluation layer (memoized / batched).
+bool replaySequence(const ir::Program& kernel, const std::vector<Step>& steps,
+                    ir::Program& prog) {
   History::ReplayResult rr;
   auto p = History::replay(kernel, steps, rr);
   if (!p) return false;
   prog = std::move(*p);
-  rt = m.evaluate(prog);
   return true;
 }
 
@@ -221,50 +410,66 @@ std::vector<Step> initialSequence(const ir::Program& kernel,
 
 void randomSamplingHeuristic(const ir::Program& kernel,
                              const machines::Machine& m,
-                             const SearchConfig& cfg, Tracker& tr) {
+                             const SearchConfig& cfg, Eval& ev, Tracker& tr) {
   Rng rng(cfg.seed);
   std::vector<SeqState> pool;
-  const double t0 = m.evaluate(kernel);
+  const double t0 = ev.cost(kernel);
   tr.record(kernel, t0);
   pool.push_back({{}, t0, t0});
   {
     const auto seed_steps = initialSequence(kernel, m);
     ir::Program prog;
-    double rt;
-    if (evalSequence(kernel, m, seed_steps, prog, rt)) {
+    if (replaySequence(kernel, seed_steps, prog)) {
+      const double rt = ev.cost(prog);
       tr.record(prog, rt);
       pool.push_back({seed_steps, rt, t0});
     }
   }
-  while (!tr.exhausted()) {
+  DeferredEvals batch(ev, tr);
+  int barren = 0;
+  while (!tr.exhausted(static_cast<int>(batch.inFlight())) && barren < 1024) {
     std::vector<double> w;
     w.reserve(pool.size());
     for (const auto& e : pool) w.push_back(1.0 / e.parent_runtime);
-    const auto& parent = pool[rng.weightedIndex(w)];
+    const std::size_t pi = rng.weightedIndex(w);
+    if (pool[pi].runtime == kPendingRuntime) batch.flush();
+    const auto& parent = pool[pi];
     std::vector<Step> cand;
-    if (!mutateSequence(kernel, m, rng, parent.steps, cfg.max_steps, cand))
+    if (!mutateSequence(kernel, m, rng, parent.steps, cfg.max_steps, cand)) {
+      ++barren;
       continue;
+    }
     ir::Program prog;
-    double rt;
-    if (!evalSequence(kernel, m, cand, prog, rt)) continue;
-    tr.record(prog, rt);
-    pool.push_back({std::move(cand), rt, parent.runtime});
-    if (pool.size() > 4096) pool.erase(pool.begin(), pool.begin() + 1024);
+    if (!replaySequence(kernel, cand, prog)) {
+      ++barren;
+      continue;
+    }
+    barren = 0;
+    const std::size_t slot = pool.size();
+    pool.push_back({std::move(cand), kPendingRuntime, parent.runtime});
+    batch.submit(std::move(prog),
+                 [&pool, slot](double rt) { pool[slot].runtime = rt; });
+    if (batch.inFlight() >= ev.batchLimit()) batch.flush();
+    if (pool.size() > 4096) {
+      batch.flush();
+      pool.erase(pool.begin(), pool.begin() + 1024);
+    }
   }
+  batch.flush();
 }
 
 void annealingHeuristic(const ir::Program& kernel, const machines::Machine& m,
-                        const SearchConfig& cfg, Tracker& tr) {
+                        const SearchConfig& cfg, Eval& ev, Tracker& tr) {
   Rng rng(cfg.seed);
   std::vector<Step> cur;
-  double cur_rt = m.evaluate(kernel);
+  double cur_rt = ev.cost(kernel);
   const double base_rt = cur_rt;
   tr.record(kernel, cur_rt);
   {
     const auto seed_steps = initialSequence(kernel, m);
     ir::Program prog;
-    double rt;
-    if (evalSequence(kernel, m, seed_steps, prog, rt)) {
+    if (replaySequence(kernel, seed_steps, prog)) {
+      const double rt = ev.cost(prog);
       tr.record(prog, rt);
       if (rt < cur_rt) {
         cur = seed_steps;
@@ -273,45 +478,72 @@ void annealingHeuristic(const ir::Program& kernel, const machines::Machine& m,
     }
   }
   double temp = cfg.sa_t0;
-  while (!tr.exhausted()) {
+  int barren = 0;  // consecutive failed proposals (mutation or replay)
+  while (!tr.exhausted() && barren < 1024) {
     std::vector<Step> cand;
-    if (!mutateSequence(kernel, m, rng, cur, cfg.max_steps, cand)) continue;
+    if (!mutateSequence(kernel, m, rng, cur, cfg.max_steps, cand)) {
+      ++barren;
+      continue;
+    }
     ir::Program prog;
-    double rt;
-    if (!evalSequence(kernel, m, cand, prog, rt)) continue;
+    if (!replaySequence(kernel, cand, prog)) {
+      ++barren;
+      continue;
+    }
+    barren = 0;
+    const double rt = ev.cost(prog);
     tr.record(prog, rt);
     const double delta = (rt - cur_rt) / base_rt;
-    if (delta <= 0 || rng.uniformReal() < std::exp(-delta / std::max(temp, 1e-6))) {
+    if (saAccept(delta, temp, rng)) {
       cur = std::move(cand);
       cur_rt = rt;
     }
-    temp *= cfg.sa_decay;
+    temp *= cfg.sa_decay;  // decays once per recorded evaluation
   }
 }
 
 }  // namespace
 
 SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
-                       const SearchConfig& cfg) {
+                       const SearchConfig& cfg, EvalCache* shared_cache) {
+  const auto start = std::chrono::steady_clock::now();
+  EvalCache local_cache;
+  EvalCache* cache =
+      shared_cache ? shared_cache : (cfg.use_cache ? &local_cache : nullptr);
+  const int threads = cfg.threads;  // 0 = auto inside ParallelEvaluator
+  ParallelEvaluator pool(threads == 0 ? 0 : threads);
+  Eval ev(m, cache, pool.threads() > 1 ? &pool : nullptr);
+
   Tracker tr(cfg.budget);
   tr.best = kernel;
   if (cfg.structure == SpaceStructure::Edges) {
     if (cfg.method == SearchMethod::RandomSampling)
-      randomSamplingEdges(kernel, m, cfg, tr);
+      randomSamplingEdges(kernel, m, cfg, ev, tr);
     else
-      annealingEdges(kernel, m, cfg, tr);
+      annealingEdges(kernel, m, cfg, ev, tr);
   } else {
     if (cfg.method == SearchMethod::RandomSampling)
-      randomSamplingHeuristic(kernel, m, cfg, tr);
+      randomSamplingHeuristic(kernel, m, cfg, ev, tr);
     else
-      annealingHeuristic(kernel, m, cfg, tr);
+      annealingHeuristic(kernel, m, cfg, ev, tr);
   }
   SearchResult r;
   r.best = std::move(tr.best);
   r.best_runtime = tr.best_runtime;
   r.evals = tr.evals;
   r.trace = std::move(tr.trace);
+  ev.fillStats(r.stats);
+  r.stats.best_trace = r.trace;
+  r.stats.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
   return r;
+}
+
+SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
+                       const SearchConfig& cfg) {
+  return runSearch(kernel, m, cfg, nullptr);
 }
 
 }  // namespace perfdojo::search

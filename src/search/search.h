@@ -2,6 +2,13 @@
 // structures (edges-based vs heuristic-based) crossed with two methods
 // (cost-weighted global random sampling vs simulated annealing) — the four
 // configurations compared in Figure 12.
+//
+// All four methods price candidates through the shared evaluation layer
+// (EvalCache + ParallelEvaluator): evaluations of canonically identical
+// programs are memoized, and independent candidate batches are evaluated
+// concurrently. Search decisions are made strictly on the calling thread in
+// a fixed order, so for a given seed the result is bit-identical for any
+// `threads` setting and with or without the cache.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,8 @@
 #include "transform/history.h"
 
 namespace perfdojo::search {
+
+class EvalCache;
 
 enum class SearchMethod { RandomSampling, SimulatedAnnealing };
 enum class SpaceStructure { Edges, Heuristic };
@@ -28,6 +37,25 @@ struct SearchConfig {
   std::uint64_t seed = 1;
   double sa_t0 = 0.6;      // initial acceptance temperature (relative)
   double sa_decay = 0.995; // per-evaluation temperature decay
+  /// Worker threads for candidate evaluation; 0 = hardware_concurrency,
+  /// 1 = fully serial (no pool). Results do not depend on this value.
+  int threads = 0;
+  /// Memoize evaluations by canonical program hash. Costs are deterministic,
+  /// so this changes wall-clock and raw machine-eval counts, never results.
+  bool use_cache = true;
+};
+
+/// Accounting of the evaluation layer for one search run.
+struct SearchStats {
+  std::int64_t evals_requested = 0;  // cost lookups issued by the search loop
+  std::int64_t cache_hits = 0;       // served from the memo table
+  std::int64_t machine_evals = 0;    // raw machine-model runs (cache misses)
+  std::int64_t unique_programs = 0;  // distinct canonical programs priced
+  int threads_used = 1;
+  double wall_ms = 0;                // wall-clock of the whole search
+  /// Best-so-far runtime after each requested evaluation (the convergence
+  /// curves of Figure 12); identical to SearchResult::trace.
+  std::vector<double> best_trace;
 };
 
 struct SearchResult {
@@ -37,10 +65,25 @@ struct SearchResult {
   /// Best-so-far runtime after each evaluation (the convergence curves of
   /// Figure 12).
   std::vector<double> trace;
+  SearchStats stats;
 };
 
 SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
                        const SearchConfig& cfg);
+
+/// Variant sharing a caller-owned memo table, e.g. across the kernels of a
+/// library-generation run (nullptr behaves like cfg.use_cache = false).
+SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
+                       const SearchConfig& cfg, EvalCache* shared_cache);
+
+/// Simulated-annealing acceptance rule (Metropolis): always accept an
+/// improvement; accept a regression of relative size `delta` with
+/// probability exp(-delta / temp). Consumes one uniform draw iff delta > 0.
+bool saAccept(double delta, double temp, Rng& rng);
+
+/// Temperature after `evals` recorded evaluations under the configured
+/// geometric schedule: t0 * decay^evals.
+double saTemperature(double t0, double decay, std::int64_t evals);
 
 /// Expert action proposer used by the heuristic space structure: samples an
 /// applicable action with weights encoding hardware knowledge (prefer

@@ -2,7 +2,7 @@
 //
 //   perfdojo list                                  # kernels and machines
 //   perfdojo show      --kernel softmax            # textual IR
-//   perfdojo optimize  --kernel softmax --machine xeon \
+//   perfdojo optimize  --kernel softmax --machine xeon
 //                      --method heuristic|search|rl [--budget N] [--emit c|cuda|ir]
 //   perfdojo compare   --kernel softmax --machine xeon  # vs every baseline
 //   perfdojo libgen    --machine gh200 --out dir --method heuristic
@@ -55,8 +55,10 @@ int usage() {
                "usage: perfdojo <list|show|optimize|compare|libgen> [flags]\n"
                "  --kernel <label>    (see `perfdojo list`)\n"
                "  --machine <name>    snitch | xeon | gh200 | mi300a\n"
-               "  --method <m>        heuristic | search | rl | naive | greedy\n"
+               "  --method <m>        heuristic | search | rl | naive | greedy | best\n"
                "  --budget <n>        search evaluations / rl episodes\n"
+               "  --threads <n>       evaluation worker threads (0 = all cores)\n"
+               "  --no-cache <0|1>    1 disables evaluation memoization\n"
                "  --emit <fmt>        ir | c | cuda\n"
                "  --out <dir>         libgen output directory\n");
   return 2;
@@ -116,12 +118,25 @@ int cmdOptimize(const Args& a) {
   if (method == "naive") tuned = search::naivePass(base, *m).current();
   else if (method == "greedy") tuned = search::greedyPass(base, *m).current();
   else if (method == "heuristic") tuned = search::heuristicPass(base, *m).current();
+  else if (method == "best") tuned = search::bestPass(base, *m).current();
   else if (method == "search") {
     search::SearchConfig sc;
     sc.budget = budget;
+    sc.threads = std::atoi(a.get("threads", "0").c_str());
+    sc.use_cache = a.get("no-cache", "0") != "1";
     const auto r = search::runSearch(base, *m, sc);
     tuned = r.best;
     evals = r.evals;
+    const auto& st = r.stats;
+    std::fprintf(stderr,
+                 "search stats: %lld evals requested, %lld cache hits, "
+                 "%lld machine evals, %lld unique programs, %d threads, "
+                 "%.1f ms\n",
+                 static_cast<long long>(st.evals_requested),
+                 static_cast<long long>(st.cache_hits),
+                 static_cast<long long>(st.machine_evals),
+                 static_cast<long long>(st.unique_programs), st.threads_used,
+                 st.wall_ms);
   } else if (method == "rl") {
     rl::PerfLLMConfig rc;
     rc.episodes = budget > 0 ? budget : 60;

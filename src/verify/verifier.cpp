@@ -67,6 +67,11 @@ VerifyResult verifyEquivalent(const ir::Program& original,
         if (!res.equivalent) return;
         const double a = ta.at(idx);
         const double b = tb.at(idx);
+        // Exact equality short-circuits the tolerance check. This is not a
+        // fast path: for a == b == ±Inf, fabs(a - b) is NaN, so the error
+        // accounting and tolerance comparisons below would flag identical
+        // infinities as a mismatch.
+        if (a == b) return;
         const double abs_err = std::fabs(a - b);
         const double rel_err = abs_err / std::max(std::fabs(a), 1e-30);
         res.max_abs_err = std::max(res.max_abs_err, abs_err);
@@ -81,8 +86,9 @@ VerifyResult verifyEquivalent(const ir::Program& original,
             where += std::to_string(idx[i]);
           }
           where += "]";
-          res.detail = "mismatch at " + where + ": original=" +
-                       std::to_string(a) + " transformed=" + std::to_string(b);
+          res.detail = "trial " + std::to_string(trial) + ": mismatch at " +
+                       where + ": original=" + std::to_string(a) +
+                       " transformed=" + std::to_string(b);
         }
       });
       if (!res.equivalent) break;

@@ -4,6 +4,7 @@
 #include "ir/canonical.h"
 #include "kernels/kernels.h"
 #include "machines/machine.h"
+#include "search/evalcache.h"
 #include "support/rng.h"
 
 namespace perfdojo::dojo {
@@ -76,6 +77,29 @@ TEST(Dojo, GpuGameReachesFasterStates) {
     d.play(moves[static_cast<std::size_t>(best_i)]);
   }
   EXPECT_LT(d.bestRuntime(), t0);
+}
+
+TEST(Dojo, SharedEvalCachePricesRevisitedStatesOnce) {
+  // Play a move, undo it, play it again: three of the four state
+  // evaluations (initial, after-move, after-undo, after-replay) hit states
+  // already priced, so a shared cache records exactly 2 unique programs.
+  search::EvalCache cache;
+  DojoOptions opts;
+  opts.eval_cache = &cache;
+  Dojo d(kernels::makeSoftmax(4, 8), machines::xeon(), opts);
+  const auto moves = d.moves();
+  ASSERT_FALSE(moves.empty());
+  const double rt0 = d.runtime();
+  d.play(moves[0]);
+  const double rt1 = d.runtime();
+  d.undo();
+  EXPECT_EQ(d.runtime(), rt0);
+  d.play(moves[0]);
+  EXPECT_EQ(d.runtime(), rt1);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.requests, 4);
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.hits, 2);
 }
 
 }  // namespace

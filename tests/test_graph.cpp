@@ -3,7 +3,9 @@
 #include "ir/canonical.h"
 #include "kernels/kernels.h"
 #include "machines/machine.h"
+#include "search/evalcache.h"
 #include "search/graph.h"
+#include "search/parallel_eval.h"
 
 namespace perfdojo::search {
 namespace {
@@ -46,6 +48,47 @@ TEST(TransformationGraph, NodeCapRespected) {
   const auto p = kernels::makeSoftmax(8, 16);
   TransformationGraph g(p, machines::xeon(), 3, 40);
   EXPECT_LE(g.nodeCount(), 40u);
+}
+
+TEST(TransformationGraph, EvaluatesEachUniqueNodeOnce) {
+  // Duplicate-hash candidates must be deduplicated BEFORE evaluation: the
+  // cache records one miss per distinct (machine, program) key, so the miss
+  // count equals the node count exactly.
+  const auto p = kernels::makeAdd(8, 16);
+  EvalCache cache;
+  TransformationGraph g(p, machines::xeon(), 2, 200, &cache);
+  EXPECT_EQ(cache.stats().misses,
+            static_cast<std::int64_t>(g.nodeCount()));
+  EXPECT_EQ(cache.size(), g.nodeCount());
+
+  // A rebuild against the same cache re-prices nothing.
+  TransformationGraph g2(p, machines::xeon(), 2, 200, &cache);
+  EXPECT_EQ(cache.stats().misses,
+            static_cast<std::int64_t>(g.nodeCount()));
+}
+
+TEST(TransformationGraph, ParallelBuildMatchesSerial) {
+  const auto p = kernels::makeReduceMean(32, 32);
+  TransformationGraph serial(p, machines::xeon(), 2, 300);
+  EvalCache cache;
+  ParallelEvaluator pool(4);
+  TransformationGraph parallel(p, machines::xeon(), 2, 300, &cache, &pool);
+  EXPECT_EQ(serial.nodeCount(), parallel.nodeCount());
+  EXPECT_EQ(serial.edgeCount(), parallel.edgeCount());
+  EXPECT_EQ(serial.best().hash, parallel.best().hash);
+  EXPECT_EQ(serial.best().runtime, parallel.best().runtime);
+  for (const auto& [h, n] : serial.nodes()) {
+    const auto* pn = parallel.find(h);
+    ASSERT_NE(pn, nullptr);
+    EXPECT_EQ(n.runtime, pn->runtime);
+    EXPECT_EQ(n.depth, pn->depth);
+  }
+}
+
+TEST(TransformationGraph, DepthLimitHoldsForAllNodes) {
+  const auto p = kernels::makeSoftmax(8, 16);
+  TransformationGraph g(p, machines::xeon(), 2, 10000);
+  for (const auto& [h, n] : g.nodes()) EXPECT_LE(n.depth, 2);
 }
 
 TEST(TransformationGraph, FindByHash) {

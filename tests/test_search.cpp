@@ -1,3 +1,5 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "kernels/kernels.h"
@@ -109,6 +111,61 @@ TEST(Search, BestProgramIsSemanticallyValid) {
   vo.rel_tol = 1e-4;
   const auto v = verify::verifyEquivalent(p, r.best, vo);
   EXPECT_TRUE(v.equivalent) << v.detail;
+}
+
+TEST(Annealing, AcceptsDownhillWithoutConsumingRandomness) {
+  // delta <= 0 must be accepted unconditionally and must not draw from the
+  // generator — the acceptance draw happens only for cost-increasing moves,
+  // so downhill moves keep the decision stream aligned with the seed path.
+  Rng a(42), b(42);
+  EXPECT_TRUE(saAccept(-0.25, 0.6, a));
+  EXPECT_TRUE(saAccept(0.0, 0.6, a));
+  EXPECT_EQ(a.uniformReal(), b.uniformReal());
+}
+
+TEST(Annealing, CostIncreasingMoveAcceptedHotRejectedCold) {
+  // Regression for the SA schedule: the same uphill move (fixed seed, fixed
+  // delta) is accepted at the initial temperature and rejected once the
+  // geometric decay has run the temperature down.
+  const double t0 = 0.6, decay = 0.995, delta = 0.05;
+  const double hot = saTemperature(t0, decay, 0);
+  EXPECT_EQ(hot, t0);
+  // exp(-0.05/0.6) ~ 0.92: accepted for almost every draw; seed 7 is one.
+  Rng early(7);
+  EXPECT_TRUE(saAccept(delta, hot, early));
+  // After 2000 evaluations temp ~ 2.6e-5: exp(-delta/temp) underflows to 0,
+  // so the move is rejected for every possible draw.
+  const double cold = saTemperature(t0, decay, 2000);
+  EXPECT_LT(cold, 1e-4);
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Rng late(seed);
+    EXPECT_FALSE(saAccept(delta, cold, late)) << "seed " << seed;
+  }
+}
+
+TEST(Annealing, TemperatureScheduleIsGeometric) {
+  EXPECT_DOUBLE_EQ(saTemperature(0.6, 0.995, 1), 0.6 * 0.995);
+  EXPECT_DOUBLE_EQ(saTemperature(0.6, 0.995, 10),
+                   0.6 * std::pow(0.995, 10.0));
+  EXPECT_GT(saTemperature(0.6, 0.995, 500), saTemperature(0.6, 0.995, 501));
+}
+
+TEST(Search, TerminatesOnActionStarvedPrograms) {
+  // A degenerate kernel where few (possibly zero) transformations apply must
+  // not hang any method: the stall guards bound retries and annealing stops
+  // when the root has no applicable actions.
+  const auto p = kernels::makeAdd(1, 1);
+  SearchConfig cfg;
+  cfg.budget = 400;
+  for (auto method : {SearchMethod::RandomSampling, SearchMethod::SimulatedAnnealing}) {
+    for (auto structure : {SpaceStructure::Edges, SpaceStructure::Heuristic}) {
+      cfg.method = method;
+      cfg.structure = structure;
+      const auto r = runSearch(p, machines::xeon(), cfg);
+      EXPECT_GE(r.evals, 1);
+      EXPECT_LE(r.evals, cfg.budget);
+    }
+  }
 }
 
 TEST(Search, ExpertSuggestionIsApplicable) {

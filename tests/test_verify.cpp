@@ -1,0 +1,81 @@
+// Numerical equivalence oracle: non-finite value handling and mismatch
+// reporting. Regression coverage for the fabs(Inf - Inf) == NaN pitfall:
+// identical infinities must verify as equivalent.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "verify/verifier.h"
+
+namespace perfdojo::verify {
+namespace {
+
+using ir::Builder;
+using ir::DType;
+using ir::OpCode;
+
+/// z[i] = num / den for all i — with den == 0 this manufactures ±Inf (or
+/// NaN for 0/0) outputs deterministically.
+ir::Program makeConstDiv(double num, double den) {
+  Builder b("constdiv");
+  b.buffer("z", DType::F32, {4});
+  b.output("z");
+  b.beginScope(4);
+  b.op(OpCode::Div, b.atDepths("z", {0}),
+       {Builder::cst(num), Builder::cst(den)});
+  b.endScope();
+  return b.finish();
+}
+
+TEST(Verifier, IdenticalPositiveInfinitiesAreEquivalent) {
+  // 1/0 and 2/0 both produce +Inf everywhere. fabs(Inf - Inf) is NaN, so a
+  // pure tolerance check would flag these as mismatching; the exact-equality
+  // short-circuit must accept them.
+  const auto a = makeConstDiv(1.0, 0.0);
+  const auto b = makeConstDiv(2.0, 0.0);
+  const auto r = verifyEquivalent(a, b);
+  EXPECT_TRUE(r.equivalent) << r.detail;
+  EXPECT_EQ(r.max_abs_err, 0.0);
+}
+
+TEST(Verifier, IdenticalNegativeInfinitiesAreEquivalent) {
+  const auto a = makeConstDiv(-1.0, 0.0);
+  const auto b = makeConstDiv(-3.0, 0.0);
+  const auto r = verifyEquivalent(a, b);
+  EXPECT_TRUE(r.equivalent) << r.detail;
+}
+
+TEST(Verifier, OppositeInfinitiesMismatch) {
+  const auto a = makeConstDiv(1.0, 0.0);
+  const auto b = makeConstDiv(-1.0, 0.0);
+  const auto r = verifyEquivalent(a, b);
+  EXPECT_FALSE(r.equivalent);
+}
+
+TEST(Verifier, NanPairsRemainEquivalent) {
+  // 0/0 is NaN on both sides; NaN != NaN, so this exercises the dedicated
+  // NaN-pair case rather than the exact-equality one.
+  const auto a = makeConstDiv(0.0, 0.0);
+  const auto b = makeConstDiv(-0.0, 0.0);
+  const auto r = verifyEquivalent(a, b);
+  EXPECT_TRUE(r.equivalent) << r.detail;
+}
+
+TEST(Verifier, MismatchDetailReportsTrialAndElement) {
+  const auto a = makeConstDiv(1.0, 1.0);  // z = 1 everywhere
+  const auto b = makeConstDiv(2.0, 1.0);  // z = 2 everywhere
+  const auto r = verifyEquivalent(a, b);
+  ASSERT_FALSE(r.equivalent);
+  EXPECT_NE(r.detail.find("trial 0"), std::string::npos) << r.detail;
+  EXPECT_NE(r.detail.find("z[0]"), std::string::npos) << r.detail;
+}
+
+TEST(Verifier, ExactMatchesSkipErrorAccounting) {
+  const auto a = makeConstDiv(3.0, 2.0);
+  const auto r = verifyEquivalent(a, a);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_EQ(r.max_abs_err, 0.0);
+  EXPECT_EQ(r.max_rel_err, 0.0);
+}
+
+}  // namespace
+}  // namespace perfdojo::verify
