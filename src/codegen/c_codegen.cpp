@@ -20,15 +20,7 @@ using ir::Program;
 
 namespace {
 
-const char* cType(DType t) {
-  switch (t) {
-    case DType::F32: return "float";
-    case DType::F64: return "double";
-    case DType::I32: return "int32_t";
-    case DType::I64: return "int64_t";
-  }
-  fail("cType: bad dtype");
-}
+const char* cType(DType t) { return cTypeName(t); }
 
 bool isF32(DType t) { return t == DType::F32 || t == DType::I32; }
 
@@ -234,6 +226,16 @@ std::string paramList(const Program& p) {
 }
 
 }  // namespace
+
+const char* cTypeName(DType t) {
+  switch (t) {
+    case DType::F32: return "float";
+    case DType::F64: return "double";
+    case DType::I32: return "int32_t";
+    case DType::I64: return "int64_t";
+  }
+  fail("cTypeName: bad dtype");
+}
 
 std::string cSignature(const Program& p, const std::string& fn_name) {
   const std::string name = fn_name.empty() ? p.name : fn_name;

@@ -26,4 +26,7 @@ std::string generateCuda(const ir::Program& p, const std::string& fn_name = "");
 /// then outputs, all as pointers to the buffer dtype.
 std::string cSignature(const ir::Program& p, const std::string& fn_name = "");
 
+/// C scalar type for a buffer dtype ("float", "double", "int32_t", "int64_t").
+const char* cTypeName(ir::DType t);
+
 }  // namespace perfdojo::codegen

@@ -1,0 +1,150 @@
+#include "codegen/c_runner.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "codegen/c_codegen.h"
+#include "support/common.h"
+
+namespace perfdojo::codegen {
+
+namespace {
+
+std::string freshTempBase() {
+  static std::atomic<int> counter{0};
+  const auto dir = std::filesystem::temp_directory_path();
+  return (dir / ("perfdojo_crun_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter++)))
+      .string();
+}
+
+/// Runs a shell command, capturing combined stdout+stderr. Returns exit code.
+int runCommand(const std::string& cmd, std::string& output) {
+  FILE* pipe = ::popen((cmd + " 2>&1").c_str(), "r");
+  if (!pipe) return -1;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), pipe)) output += buf;
+  return ::pclose(pipe);
+}
+
+std::string trampoline(const ir::Program& p, const std::string& fn) {
+  std::string s = "\nvoid " + fn + "_entry(void** a) {\n  " + fn + "(";
+  std::size_t i = 0;
+  for (const auto& in : p.inputs) {
+    const ir::Buffer* b = p.bufferOfArray(in);
+    if (i) s += ", ";
+    s += "(const " + std::string(cTypeName(b->dtype)) + "*)a[" +
+         std::to_string(i++) + "]";
+  }
+  for (const auto& out : p.outputs) {
+    const ir::Buffer* b = p.bufferOfArray(out);
+    if (i) s += ", ";
+    s += "(" + std::string(cTypeName(b->dtype)) + "*)a[" +
+         std::to_string(i++) + "]";
+  }
+  return s + ");\n}\n";
+}
+
+}  // namespace
+
+CompiledKernel::~CompiledKernel() {
+  // Deliberately no dlclose: unloading a module that ran OpenMP regions
+  // orphans libgomp's TLS allocations, which LeakSanitizer then reports as
+  // unreachable (the ASan CI job would fail). Kernels are small and runs are
+  // process-scoped, so we keep the mapping and only unlink the file.
+  if (!so_path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(so_path_, ec);
+  }
+}
+
+CompiledKernel::CompiledKernel(CompiledKernel&& o) noexcept
+    : handle_(o.handle_), entry_(o.entry_), arity_(o.arity_),
+      so_path_(std::move(o.so_path_)) {
+  o.handle_ = nullptr;
+  o.entry_ = nullptr;
+  o.so_path_.clear();
+}
+
+CompiledKernel& CompiledKernel::operator=(CompiledKernel&& o) noexcept {
+  if (this != &o) {
+    this->~CompiledKernel();
+    new (this) CompiledKernel(std::move(o));
+  }
+  return *this;
+}
+
+void CompiledKernel::call(const std::vector<void*>& args) const {
+  require(valid(), "CompiledKernel::call: invalid kernel");
+  require(args.size() == arity_,
+          "CompiledKernel::call: expected " + std::to_string(arity_) +
+              " args, got " + std::to_string(args.size()));
+  entry_(const_cast<void**>(args.data()));
+}
+
+bool haveCCompiler() {
+  static const bool have = [] {
+    std::string out;
+    return runCommand("cc --version >/dev/null", out) == 0;
+  }();
+  return have;
+}
+
+CompiledKernel compileForRun(const ir::Program& p, CompileOutcome& outcome) {
+  outcome = {};
+  CompiledKernel k;
+  if (!haveCCompiler()) {
+    outcome.message = "no C compiler ('cc') on this host";
+    return k;
+  }
+  const std::string base = freshTempBase();
+  const std::string c_path = base + ".c";
+  const std::string so_path = base + ".so";
+  {
+    std::ofstream f(c_path);
+    if (!f) {
+      outcome.message = "cannot write " + c_path;
+      return k;
+    }
+    f << generateC(p, "pd_kernel") << trampoline(p, "pd_kernel");
+  }
+  std::string diag;
+  const int rc = runCommand(
+      "cc -O1 -fopenmp -shared -fPIC -o " + so_path + " " + c_path + " -lm",
+      diag);
+  if (rc != 0) {
+    // Keep the source for triage; a witness replay will point here.
+    outcome.message =
+        "cc exited with " + std::to_string(rc) + " on " + c_path + ":\n" + diag;
+    return k;
+  }
+  std::error_code ec;
+  std::filesystem::remove(c_path, ec);
+  void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle) {
+    outcome.message = std::string("dlopen failed: ") + ::dlerror();
+    std::filesystem::remove(so_path, ec);
+    return k;
+  }
+  void* sym = ::dlsym(handle, "pd_kernel_entry");
+  if (!sym) {
+    outcome.message = "dlsym(pd_kernel_entry) failed";
+    ::dlclose(handle);
+    std::filesystem::remove(so_path, ec);
+    return k;
+  }
+  k.handle_ = handle;
+  k.entry_ = reinterpret_cast<void (*)(void**)>(sym);
+  k.arity_ = p.inputs.size() + p.outputs.size();
+  k.so_path_ = so_path;
+  outcome.ok = true;
+  return k;
+}
+
+}  // namespace perfdojo::codegen

@@ -1,0 +1,63 @@
+// Compile-and-execute harness for generated C: compiles a program's
+// generateC() output with the system C compiler into a shared object, loads
+// it, and invokes the kernel on caller-provided buffers. This is the
+// "compiled backend" side of the differential-fuzzing oracle (interpreter vs
+// generated C), reusable by tests that want end-to-end codegen coverage.
+//
+// The emitted translation unit gets an extra `void <fn>_entry(void** args)`
+// trampoline that unpacks one pointer per input (declaration order) then one
+// per output, so callers never depend on the kernel's arity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace perfdojo::codegen {
+
+struct CompileOutcome {
+  bool ok = false;
+  std::string message;  // compiler diagnostics + kept source path on failure
+};
+
+/// A loaded compiled kernel. Owns the dlopen handle and the temp files;
+/// movable, not copyable. Invalid instances (default-constructed or failed
+/// compiles) are inert.
+class CompiledKernel {
+ public:
+  CompiledKernel() = default;
+  ~CompiledKernel();
+  CompiledKernel(CompiledKernel&& o) noexcept;
+  CompiledKernel& operator=(CompiledKernel&& o) noexcept;
+  CompiledKernel(const CompiledKernel&) = delete;
+  CompiledKernel& operator=(const CompiledKernel&) = delete;
+
+  bool valid() const { return entry_ != nullptr; }
+
+  /// Calls the kernel. `args` holds one buffer pointer per program input in
+  /// declaration order, then one per output; element types must match the
+  /// backing buffers' dtypes. Throws Error on an invalid kernel or arity
+  /// mismatch.
+  void call(const std::vector<void*>& args) const;
+
+  std::size_t arity() const { return arity_; }
+
+ private:
+  friend CompiledKernel compileForRun(const ir::Program&, CompileOutcome&);
+
+  void* handle_ = nullptr;
+  void (*entry_)(void**) = nullptr;
+  std::size_t arity_ = 0;
+  std::string so_path_;  // removed on destruction
+};
+
+/// True if a C compiler ("cc") is available on this host; probed once.
+bool haveCCompiler();
+
+/// Compiles generateC(p) plus the trampoline. On failure returns an invalid
+/// kernel; `outcome.message` carries the compiler output and the path of the
+/// kept source file for triage.
+CompiledKernel compileForRun(const ir::Program& p, CompileOutcome& outcome);
+
+}  // namespace perfdojo::codegen

@@ -1,0 +1,46 @@
+#include "fuzz/minimize.h"
+
+namespace perfdojo::fuzz {
+
+std::vector<transform::Step> minimizeTrajectory(
+    std::vector<transform::Step> steps, const FailurePredicate& fails,
+    MinimizeStats* stats) {
+  MinimizeStats st;
+  st.initial_steps = steps.size();
+  auto failing = [&](const std::vector<transform::Step>& s) {
+    ++st.predicate_runs;
+    return fails(s);
+  };
+
+  // Shortest failing prefix. Failure need not be monotone in prefix length,
+  // so scan from the front; the full trajectory is failing by assumption.
+  for (std::size_t k = 1; k < steps.size(); ++k) {
+    const std::vector<transform::Step> prefix(steps.begin(),
+                                              steps.begin() + k);
+    if (failing(prefix)) {
+      steps = prefix;
+      break;
+    }
+  }
+
+  // Greedy 1-minimal removal to fixpoint: drop any single step whose removal
+  // keeps the failure reproducing.
+  bool changed = !steps.empty();
+  while (changed) {
+    changed = false;
+    for (std::size_t i = steps.size(); i-- > 0;) {
+      std::vector<transform::Step> cand = steps;
+      cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!cand.empty() && failing(cand)) {
+        steps = std::move(cand);
+        changed = true;
+      }
+    }
+  }
+
+  st.final_steps = steps.size();
+  if (stats) *stats = st;
+  return steps;
+}
+
+}  // namespace perfdojo::fuzz

@@ -1,0 +1,37 @@
+// Delta-debugging shrinker for failing trajectories.
+//
+// Given a trajectory that reproduces a failure (oracle mismatch or an apply
+// throw), reduce it to a 1-minimal failing subsequence: first the shortest
+// failing prefix, then greedy single-step removal until no single remaining
+// step can be dropped. Trajectories are short (max_steps ≈ 12), so the
+// quadratic greedy pass is cheaper and simpler than full ddmin chunking.
+//
+// The caller's predicate owns replay + oracle semantics; a candidate whose
+// replay becomes inapplicable after removing an earlier step simply does not
+// reproduce, so the predicate returns false and the step is kept.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "transform/history.h"
+
+namespace perfdojo::fuzz {
+
+/// True iff replaying `steps` from the original program still reproduces the
+/// failure under investigation. Must be deterministic.
+using FailurePredicate =
+    std::function<bool(const std::vector<transform::Step>&)>;
+
+struct MinimizeStats {
+  int predicate_runs = 0;
+  std::size_t initial_steps = 0;
+  std::size_t final_steps = 0;
+};
+
+/// Shrinks `steps` (assumed failing) to a 1-minimal failing subsequence.
+std::vector<transform::Step> minimizeTrajectory(
+    std::vector<transform::Step> steps, const FailurePredicate& fails,
+    MinimizeStats* stats = nullptr);
+
+}  // namespace perfdojo::fuzz

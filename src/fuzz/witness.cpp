@@ -1,0 +1,113 @@
+#include "fuzz/witness.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/common.h"
+#include "support/strings.h"
+
+namespace perfdojo::fuzz {
+
+namespace {
+constexpr const char* kHeader = "perfdojo-witness v1";
+}
+
+std::string witnessToText(const Witness& w) {
+  std::string s = std::string(kHeader) + "\n";
+  s += "kernel " + w.kernel + "\n";
+  s += "profile " + w.profile + "\n";
+  s += "seed " + std::to_string(w.seed) + "\n";
+  s += "layer " + (w.layer.empty() ? std::string("none") : w.layer) + "\n";
+  if (!w.detail.empty()) {
+    // The detail must stay a single line to keep the format line-oriented.
+    std::string d = w.detail;
+    std::replace(d.begin(), d.end(), '\n', ' ');
+    s += "detail " + d + "\n";
+  }
+  for (const auto& st : w.steps)
+    s += "action " + st.transform->name() + " | " +
+         transform::locationToText(st.loc) + "\n";
+  return s;
+}
+
+Witness witnessFromText(const std::string& text,
+                        const TransformResolver& resolve) {
+  const TransformResolver res =
+      resolve ? resolve : TransformResolver(&transform::findTransform);
+  Witness w;
+  const auto lines = splitLines(text);
+  bool header_seen = false;
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    std::string line = lines[ln];
+    if (auto pos = line.find('#'); pos != std::string::npos)
+      line = line.substr(0, pos);
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::string where = "witness line " + std::to_string(ln + 1) + ": ";
+    if (!header_seen) {
+      require(line == kHeader,
+              where + "expected '" + kHeader + "', got '" + line + "'");
+      header_seen = true;
+      continue;
+    }
+    const auto sp = line.find(' ');
+    const std::string key = sp == std::string::npos ? line : line.substr(0, sp);
+    const std::string val =
+        sp == std::string::npos ? std::string() : trim(line.substr(sp + 1));
+    if (key == "kernel") w.kernel = val;
+    else if (key == "profile") w.profile = val;
+    else if (key == "seed") w.seed = std::strtoull(val.c_str(), nullptr, 10);
+    else if (key == "layer") w.layer = val == "none" ? std::string() : val;
+    else if (key == "detail") w.detail = val;
+    else if (key == "action") {
+      const auto bar = val.find('|');
+      const std::string name =
+          trim(bar == std::string::npos ? val : val.substr(0, bar));
+      const std::string loc_text =
+          bar == std::string::npos ? std::string() : trim(val.substr(bar + 1));
+      const transform::Transform* t = res(name);
+      require(t != nullptr, where + "unknown transform '" + name + "'");
+      transform::Location loc;
+      require(transform::locationFromText(loc_text, loc),
+              where + "malformed location '" + loc_text + "'");
+      w.steps.push_back({t, loc});
+    } else {
+      fail(where + "unknown key '" + key + "'");
+    }
+  }
+  require(header_seen, "witness: missing '" + std::string(kHeader) + "' header");
+  require(!w.kernel.empty(), "witness: missing kernel");
+  require(!w.profile.empty(), "witness: missing profile");
+  return w;
+}
+
+void writeWitnessFile(const std::string& path, const Witness& w) {
+  std::ofstream f(path);
+  require(static_cast<bool>(f), "cannot write witness file " + path);
+  f << witnessToText(w);
+}
+
+Witness readWitnessFile(const std::string& path,
+                        const TransformResolver& resolve) {
+  std::ifstream f(path);
+  require(static_cast<bool>(f), "cannot read witness file " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return witnessFromText(ss.str(), resolve);
+}
+
+std::vector<std::string> listWitnessFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
+    if (e.is_regular_file() && e.path().extension() == ".witness")
+      files.push_back(e.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace perfdojo::fuzz

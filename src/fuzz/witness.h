@@ -1,0 +1,60 @@
+// Witness files: the serialized, replayable form of a fuzzing finding.
+//
+// A witness pins down everything needed to re-execute a trajectory
+// deterministically — kernel label, machine-caps profile, oracle input seed,
+// and the action list (transform name + location). Shrunk failures are
+// written as one witness per finding; once the underlying bug is fixed the
+// file moves into the corpus directory and is re-run forever as a regression
+// seed (see fuzz/corpus/README.md).
+//
+// Format (line-oriented, '#' comments allowed):
+//   perfdojo-witness v1
+//   kernel softmax
+//   profile cpu
+//   seed 7
+//   layer interp                  # failing oracle layer; "none" for seeds
+//   detail trial 0: mismatch ...  # informational, single line
+//   action split_scope | node=3 param=16
+//   action vectorize | node=9
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "transform/history.h"
+#include "transform/transform.h"
+
+namespace perfdojo::fuzz {
+
+struct Witness {
+  std::string kernel;       // kernels::findKernel label
+  std::string profile;      // capsProfiles() entry name
+  std::uint64_t seed = 0;   // oracle input seed (verify trials, codegen run)
+  std::string layer;        // oracle layer name at discovery; "none" for seeds
+  std::string detail;       // one-line diagnostic from the original finding
+  std::vector<transform::Step> steps;
+};
+
+/// Maps a transform name to its singleton; used when parsing witnesses so
+/// tests can resolve test-only (injected) transforms. Defaults to
+/// transform::findTransform.
+using TransformResolver =
+    std::function<const transform::Transform*(const std::string&)>;
+
+std::string witnessToText(const Witness& w);
+
+/// Throws Error on malformed input or unresolvable transform names.
+Witness witnessFromText(const std::string& text,
+                        const TransformResolver& resolve = {});
+
+void writeWitnessFile(const std::string& path, const Witness& w);
+Witness readWitnessFile(const std::string& path,
+                        const TransformResolver& resolve = {});
+
+/// Sorted *.witness paths directly under `dir`; empty if the directory does
+/// not exist.
+std::vector<std::string> listWitnessFiles(const std::string& dir);
+
+}  // namespace perfdojo::fuzz

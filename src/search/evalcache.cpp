@@ -54,6 +54,32 @@ void EvalCache::insert(const machines::Machine& m, std::uint64_t canonical_hash,
   map_.emplace(k, cost);
 }
 
+bool EvalCache::selfCheck(const machines::Machine& m, const ir::Program& p,
+                          std::string* detail) {
+  auto report = [&](const std::string& msg) {
+    if (detail) *detail = msg;
+    return false;
+  };
+  const std::uint64_t h1 = ir::canonicalHash(p);
+  const std::uint64_t h2 = ir::canonicalHash(p);
+  if (h1 != h2)
+    return report("canonical hash unstable across re-hashing: " +
+                  std::to_string(h1) + " vs " + std::to_string(h2));
+  const double fresh = m.evaluate(p);
+  double cached = 0;
+  if (lookup(m, h1, cached) && cached != fresh)
+    return report("memoized cost " + std::to_string(cached) +
+                  " != fresh evaluation " + std::to_string(fresh) +
+                  " on " + m.name() + " for canonical hash " +
+                  std::to_string(h1));
+  insert(m, h1, fresh);
+  double back = 0;
+  if (!lookup(m, h1, back) || back != fresh)
+    return report("inserted cost for canonical hash " + std::to_string(h1) +
+                  " not retrievable");
+  return true;
+}
+
 EvalCacheStats EvalCache::stats() const {
   EvalCacheStats s;
   s.requests = requests_.load();

@@ -49,6 +49,17 @@ class EvalCache {
   void insert(const machines::Machine& m, std::uint64_t canonical_hash,
               double cost);
 
+  /// Differential-testing hook (the fuzzer's cache-consistency oracle layer):
+  /// re-hashes `p`, checks the canonical hash is stable, and checks that any
+  /// memoized cost for it matches a fresh machine-model evaluation — a
+  /// divergence means either a canonical-hash collision between programs with
+  /// different costs or a non-pure machine model, both of which silently
+  /// corrupt every search method built on this table. Inserts the fresh cost
+  /// on success so subsequent probes hit. Uncounted (like lookup/insert).
+  /// Returns false and fills `detail` on inconsistency.
+  bool selfCheck(const machines::Machine& m, const ir::Program& p,
+                 std::string* detail = nullptr);
+
   EvalCacheStats stats() const;
   std::size_t size() const;
   void clear();

@@ -6,8 +6,12 @@
 //                      --method heuristic|search|rl [--budget N] [--emit c|cuda|ir]
 //   perfdojo compare   --kernel softmax --machine xeon  # vs every baseline
 //   perfdojo libgen    --machine gh200 --out dir --method heuristic
+//   perfdojo fuzz      [--budget-sec N | --trajectories N] [--seed S]
+//                      [--kernel label] [--profile cpu|gpu|snitch]
+//                      [--corpus dir] [--replay file] [--out dir]
 //
-// Exit status is non-zero on unknown kernels/machines/flags.
+// Exit status is non-zero on unknown kernels/machines/flags, and for `fuzz`
+// also when any oracle failure is found (or a corpus seed regresses).
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -15,6 +19,7 @@
 
 #include "baselines/baselines.h"
 #include "codegen/c_codegen.h"
+#include "fuzz/fuzzer.h"
 #include "ir/printer.h"
 #include "kernels/kernels.h"
 #include "libgen/libgen.h"
@@ -52,7 +57,7 @@ Args parse(int argc, char** argv) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: perfdojo <list|show|optimize|compare|libgen> [flags]\n"
+               "usage: perfdojo <list|show|optimize|compare|libgen|fuzz> [flags]\n"
                "  --kernel <label>    (see `perfdojo list`)\n"
                "  --machine <name>    snitch | xeon | gh200 | mi300a\n"
                "  --method <m>        heuristic | search | rl | naive | greedy | best\n"
@@ -60,7 +65,16 @@ int usage() {
                "  --threads <n>       evaluation worker threads (0 = all cores)\n"
                "  --no-cache <0|1>    1 disables evaluation memoization\n"
                "  --emit <fmt>        ir | c | cuda\n"
-               "  --out <dir>         libgen output directory\n");
+               "  --out <dir>         libgen / fuzz-witness output directory\n"
+               "fuzz flags:\n"
+               "  --budget-sec <s>    wall-clock fuzzing budget (0 = use --trajectories)\n"
+               "  --trajectories <n>  trajectories per (kernel, profile) pair\n"
+               "  --max-steps <n>     max actions per trajectory\n"
+               "  --seed <s>          base fuzzing seed\n"
+               "  --profile <p>       cpu | gpu | snitch (default: all)\n"
+               "  --codegen <0|1>     1 runs the codegen oracle at every step\n"
+               "  --corpus <dir>      re-run *.witness regression seeds first\n"
+               "  --replay <file>     re-execute one witness and exit\n");
   return 2;
 }
 
@@ -188,6 +202,67 @@ int cmdLibgen(const Args& a) {
   return 0;
 }
 
+void printOracleReport(const char* label, const fuzz::OracleReport& r) {
+  if (r.ok)
+    std::fprintf(stderr, "%s: ok\n", label);
+  else
+    std::fprintf(stderr, "%s: FAIL [%s] %s\n", label,
+                 fuzz::oracleLayerName(r.layer), r.detail.c_str());
+}
+
+int cmdFuzz(const Args& a) {
+  fuzz::FuzzConfig cfg;
+  cfg.seed = std::strtoull(a.get("seed", "1").c_str(), nullptr, 10);
+  cfg.budget_sec = std::atof(a.get("budget-sec", "0").c_str());
+  cfg.trajectories = std::atoi(a.get("trajectories", "2").c_str());
+  cfg.max_steps = std::atoi(a.get("max-steps", "12").c_str());
+  cfg.oracle.check_codegen = a.get("codegen", "0") == "1";
+  cfg.codegen_final = a.get("codegen-final", "1") != "0";
+  cfg.witness_dir = a.get("out", "");
+  if (const auto k = a.get("kernel"); !k.empty()) cfg.kernels = {k};
+  if (const auto p = a.get("profile"); !p.empty()) cfg.profiles = {p};
+
+  if (const auto file = a.get("replay"); !file.empty()) {
+    const auto w = fuzz::readWitnessFile(file);
+    std::fprintf(stderr,
+                 "replaying %s: kernel=%s profile=%s seed=%llu steps=%zu\n",
+                 file.c_str(), w.kernel.c_str(), w.profile.c_str(),
+                 static_cast<unsigned long long>(w.seed), w.steps.size());
+    const auto r = fuzz::runWitness(w, cfg.oracle);
+    printOracleReport("replay", r);
+    return r.ok ? 0 : 1;
+  }
+
+  bool corpus_ok = true;
+  if (const auto dir = a.get("corpus"); !dir.empty()) {
+    const auto cr = fuzz::runCorpus(dir, cfg.oracle);
+    std::fprintf(stderr, "corpus %s: %d seeds, %zu regressed\n", dir.c_str(),
+                 cr.total, cr.failures.size());
+    for (const auto& [path, rep] : cr.failures)
+      printOracleReport(path.c_str(), rep);
+    corpus_ok = cr.ok();
+  }
+
+  const auto r = fuzz::runFuzz(cfg);
+  std::fprintf(stderr,
+               "fuzz: %lld trajectories, %lld steps, %lld oracle checks, "
+               "%lld shrink runs, %.1f s, %zu findings\n",
+               static_cast<long long>(r.stats.trajectories),
+               static_cast<long long>(r.stats.steps),
+               static_cast<long long>(r.stats.oracle_checks),
+               static_cast<long long>(r.stats.minimizer_runs),
+               r.stats.wall_sec, r.findings.size());
+  for (const auto& f : r.findings) {
+    std::fprintf(stderr, "finding [%s] %s/%s (%zu actions): %s\n",
+                 f.witness.layer.c_str(), f.witness.kernel.c_str(),
+                 f.witness.profile.c_str(), f.witness.steps.size(),
+                 f.report.detail.c_str());
+    if (!f.file.empty())
+      std::fprintf(stderr, "  witness written to %s\n", f.file.c_str());
+  }
+  return (r.ok() && corpus_ok) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -198,6 +273,7 @@ int main(int argc, char** argv) {
     if (a.command == "optimize") return cmdOptimize(a);
     if (a.command == "compare") return cmdCompare(a);
     if (a.command == "libgen") return cmdLibgen(a);
+    if (a.command == "fuzz") return cmdFuzz(a);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

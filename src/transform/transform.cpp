@@ -1,7 +1,10 @@
 #include "transform/transform.h"
 
+#include <cstdlib>
+
 #include "ir/walk.h"
 #include "support/common.h"
+#include "support/strings.h"
 
 namespace perfdojo::transform {
 
@@ -52,11 +55,52 @@ const Transform* findTransform(const std::string& name) {
 }
 
 std::vector<Action> allActions(const ir::Program& p, const MachineCaps& caps) {
+  return allActions(p, caps, allTransforms());
+}
+
+std::vector<Action> allActions(const ir::Program& p, const MachineCaps& caps,
+                               const std::vector<const Transform*>& transforms) {
   std::vector<Action> actions;
-  for (const Transform* t : allTransforms()) {
+  for (const Transform* t : transforms) {
     for (auto& loc : t->findApplicable(p, caps)) actions.push_back({t, loc});
   }
   return actions;
+}
+
+std::string locationToText(const Location& loc) {
+  std::string s = "node=" + std::to_string(loc.node);
+  if (!loc.buffer.empty()) s += " buffer=" + loc.buffer;
+  if (loc.dim >= 0) s += " dim=" + std::to_string(loc.dim);
+  if (loc.dim2 >= 0) s += " dim2=" + std::to_string(loc.dim2);
+  if (loc.param != 0) s += " param=" + std::to_string(loc.param);
+  if (loc.space != ir::MemSpace::Heap)
+    s += std::string(" space=") + ir::memSpaceName(loc.space);
+  return s;
+}
+
+bool locationFromText(const std::string& text, Location& out) {
+  out = Location{};
+  for (const auto& tok : splitTokens(text)) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (val.empty()) return false;
+    char* end = nullptr;
+    const std::int64_t num = std::strtoll(val.c_str(), &end, 10);
+    const bool numeric = end && *end == '\0';
+    if (key == "node" && numeric) out.node = static_cast<ir::NodeId>(num);
+    else if (key == "buffer") out.buffer = val;
+    else if (key == "dim" && numeric) out.dim = static_cast<int>(num);
+    else if (key == "dim2" && numeric) out.dim2 = static_cast<int>(num);
+    else if (key == "param" && numeric) out.param = num;
+    else if (key == "space") {
+      if (!ir::parseMemSpace(val, out.space)) return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace perfdojo::transform

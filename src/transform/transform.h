@@ -94,6 +94,20 @@ const Transform* findTransform(const std::string& name);
 /// Enumerates every applicable action of every transform.
 std::vector<Action> allActions(const ir::Program& p, const MachineCaps& caps);
 
+/// Same, drawing from an explicit transform list. This is the differential
+/// fuzzer's injection point: tests register a deliberately mis-detecting
+/// transform alongside the real library and the oracle must catch it.
+std::vector<Action> allActions(const ir::Program& p, const MachineCaps& caps,
+                               const std::vector<const Transform*>& transforms);
+
+/// Key=value rendering of a Location for replay files, e.g.
+/// "node=4 buffer=x dim=1 param=16 space=stack" (defaulted fields omitted,
+/// except `node` which is always present). Parsed back by locationFromText.
+std::string locationToText(const Location& loc);
+
+/// Parses locationToText output. Returns false on malformed input.
+bool locationFromText(const std::string& text, Location& out);
+
 // Named accessors for direct use by passes, examples and tests.
 const Transform& splitScope();
 const Transform& collapseScopes();

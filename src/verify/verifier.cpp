@@ -28,6 +28,14 @@ void forEachIndex(const std::vector<std::int64_t>& shape, Fn&& fn) {
 
 }  // namespace
 
+bool valuesClose(double a, double b, double rel_tol, double abs_tol) {
+  if (a == b) return true;
+  if (std::isnan(a) && std::isnan(b)) return true;
+  const double abs_err = std::fabs(a - b);
+  const double rel_err = abs_err / std::max(std::fabs(a), 1e-30);
+  return abs_err <= abs_tol || rel_err <= rel_tol;
+}
+
 VerifyResult verifyEquivalent(const ir::Program& original,
                               const ir::Program& transformed,
                               const VerifyOptions& opts) {
@@ -67,18 +75,16 @@ VerifyResult verifyEquivalent(const ir::Program& original,
         if (!res.equivalent) return;
         const double a = ta.at(idx);
         const double b = tb.at(idx);
-        // Exact equality short-circuits the tolerance check. This is not a
-        // fast path: for a == b == ±Inf, fabs(a - b) is NaN, so the error
-        // accounting and tolerance comparisons below would flag identical
-        // infinities as a mismatch.
+        // Exact equality skips the error accounting too: for a == b == ±Inf,
+        // fabs(a - b) is NaN and would poison the max-error fields.
         if (a == b) return;
-        const double abs_err = std::fabs(a - b);
-        const double rel_err = abs_err / std::max(std::fabs(a), 1e-30);
-        res.max_abs_err = std::max(res.max_abs_err, abs_err);
-        res.max_rel_err = std::max(res.max_rel_err, rel_err);
-        const bool ok = abs_err <= opts.abs_tol || rel_err <= opts.rel_tol ||
-                        (std::isnan(a) && std::isnan(b));
-        if (!ok) {
+        if (!(std::isnan(a) && std::isnan(b))) {
+          const double abs_err = std::fabs(a - b);
+          const double rel_err = abs_err / std::max(std::fabs(a), 1e-30);
+          res.max_abs_err = std::max(res.max_abs_err, abs_err);
+          res.max_rel_err = std::max(res.max_rel_err, rel_err);
+        }
+        if (!valuesClose(a, b, opts.rel_tol, opts.abs_tol)) {
           res.equivalent = false;
           std::string where = out + "[";
           for (std::size_t i = 0; i < idx.size(); ++i) {

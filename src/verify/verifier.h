@@ -33,4 +33,10 @@ VerifyResult verifyEquivalent(const ir::Program& original,
                               const ir::Program& transformed,
                               const VerifyOptions& opts = {});
 
+/// The element-level tolerance predicate behind verifyEquivalent, shared with
+/// the differential-fuzzing oracle's compiled-code comparison: exact equality
+/// first (covers identical ±Inf, where fabs(a-b) is NaN), NaN==NaN, then
+/// absolute / relative tolerance.
+bool valuesClose(double a, double b, double rel_tol, double abs_tol);
+
 }  // namespace perfdojo::verify

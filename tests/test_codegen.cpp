@@ -129,7 +129,9 @@ TEST_P(CompileAndRunP, GeneratedCMatchesInterpreter) {
           << p.outputs[oi] << "[" << i << "]";
     }
   }
-  dlclose(so);
+  // No dlclose: unloading after OpenMP regions ran orphans libgomp TLS
+  // allocations, which LeakSanitizer reports under PERFDOJO_SANITIZE=address.
+  (void)so;
 }
 
 INSTANTIATE_TEST_SUITE_P(Kernels, CompileAndRunP,

@@ -167,6 +167,39 @@ TEST(EvalCacheSearch, ParallelAndCachedRunsAreDeterministic) {
   }
 }
 
+TEST(EvalCacheSearch, DeterminismAcrossThreadsAndCacheOnTwoKernels) {
+  // Regression net for the determinism contract: on two different kernels,
+  // every combination of {threads=1, threads=8} x {cache off, cache on}
+  // must produce a bit-identical search — same best cost, same eval count,
+  // same trace, same winning program. Any scheduling- or memoization-
+  // dependent decision shows up here as a trace divergence.
+  const auto& m = machines::xeon();
+  const std::vector<ir::Program> kernels_under_test = {
+      kernels::makeSoftmax(48, 24), kernels::makeMatmul(16, 16, 16)};
+  for (const auto& kernel : kernels_under_test) {
+    const auto reference = runSearch(
+        kernel, m,
+        baseConfig(SearchMethod::SimulatedAnnealing, SpaceStructure::Edges,
+                   160, 1, false));
+    for (int threads : {1, 8}) {
+      for (bool use_cache : {false, true}) {
+        const auto r = runSearch(
+            kernel, m,
+            baseConfig(SearchMethod::SimulatedAnnealing, SpaceStructure::Edges,
+                       160, threads, use_cache));
+        SCOPED_TRACE(::testing::Message() << "threads=" << threads
+                                          << " cache=" << use_cache);
+        EXPECT_EQ(reference.best_runtime, r.best_runtime);
+        EXPECT_EQ(reference.evals, r.evals);
+        EXPECT_TRUE(ir::canonicallyEqual(reference.best, r.best));
+        ASSERT_EQ(reference.trace.size(), r.trace.size());
+        for (std::size_t i = 0; i < reference.trace.size(); ++i)
+          ASSERT_EQ(reference.trace[i], r.trace[i]) << "at eval " << i;
+      }
+    }
+  }
+}
+
 TEST(EvalCacheSearch, AnnealingCacheCutsMachineEvalsAtLeastTwofold) {
   // Acceptance criterion: with threads=4 + caching, annealing on multiple
   // kernels reports >= 2x fewer raw machine evaluations than evaluations

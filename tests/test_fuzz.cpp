@@ -1,0 +1,366 @@
+// The differential-fuzzing subsystem: oracle layers, witness serialization,
+// delta-debugging minimizer, corpus replay — and the meta-test the subsystem
+// exists for: a deliberately mis-detected transformation (injected through
+// the transform-list hook) must be caught by the oracle, shrunk to a minimal
+// trajectory, and reproduce deterministically from its witness file.
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/minimize.h"
+#include "fuzz/oracle.h"
+#include "fuzz/witness.h"
+#include "ir/canonical.h"
+#include "ir/walk.h"
+#include "kernels/kernels.h"
+#include "machines/machine.h"
+#include "search/pass.h"
+#include "support/common.h"
+#include "support/rng.h"
+#include "verify/verifier.h"
+
+namespace perfdojo::fuzz {
+namespace {
+
+using transform::Action;
+using transform::Location;
+using transform::MachineCaps;
+using transform::Step;
+using transform::Transform;
+
+// --- Test-only broken transforms (the injected mis-detections) -------------
+
+/// Claims applicability at every Mul op and "applies" by rewriting it to Add:
+/// a semantics break that the interp layer must catch.
+class EvilMulToAdd : public Transform {
+ public:
+  std::string name() const override { return "evil_mul_to_add"; }
+  std::vector<Location> findApplicable(const ir::Program& p,
+                                       const MachineCaps&) const override {
+    std::vector<Location> locs;
+    for (const auto* op : ir::collectOps(p.root))
+      if (op->op == ir::OpCode::Mul) {
+        Location l;
+        l.node = op->id;
+        locs.push_back(l);
+      }
+    return locs;
+  }
+  ir::Program apply(const ir::Program& p, const Location& loc) const override {
+    ir::Program q = p;
+    ir::Node* n = ir::findNode(q.root, loc.node);
+    require(n && n->isOp() && n->op == ir::OpCode::Mul,
+            "evil_mul_to_add: stale location");
+    n->op = ir::OpCode::Add;
+    return q;
+  }
+};
+
+/// Offers a location whose apply always throws: the applicability detection
+/// and the application disagree, which the Apply layer must catch.
+class EvilOfferThenThrow : public Transform {
+ public:
+  std::string name() const override { return "evil_offer_then_throw"; }
+  std::vector<Location> findApplicable(const ir::Program& p,
+                                       const MachineCaps&) const override {
+    Location l;
+    l.node = p.root.id;
+    return {l};
+  }
+  ir::Program apply(const ir::Program&, const Location&) const override {
+    fail("evil_offer_then_throw: apply rejects its own offered location");
+  }
+};
+
+const EvilMulToAdd& evilMulToAdd() {
+  static const EvilMulToAdd t;
+  return t;
+}
+const EvilOfferThenThrow& evilOfferThenThrow() {
+  static const EvilOfferThenThrow t;
+  return t;
+}
+
+/// Resolver that also knows the test-only transforms.
+const Transform* testResolver(const std::string& name) {
+  if (name == evilMulToAdd().name()) return &evilMulToAdd();
+  if (name == evilOfferThenThrow().name()) return &evilOfferThenThrow();
+  return transform::findTransform(name);
+}
+
+std::string tempDir(const std::string& leaf) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// A short deterministic benign trajectory on `label` under `profile`.
+Witness benignWitness(const std::string& label, const std::string& profile,
+                      int steps, std::uint64_t seed) {
+  const auto* k = kernels::findKernel(label);
+  EXPECT_NE(k, nullptr);
+  const auto* prof = findProfile(profile);
+  EXPECT_NE(prof, nullptr);
+  Witness w;
+  w.kernel = label;
+  w.profile = profile;
+  w.seed = seed;
+  Rng rng(seed);
+  ir::Program p = k->build_small();
+  for (int i = 0; i < steps; ++i) {
+    const auto actions = transform::allActions(p, prof->caps);
+    if (actions.empty()) break;
+    const auto& a = actions[rng.uniform(actions.size())];
+    p = a.apply(p);
+    w.steps.push_back({a.transform, a.loc});
+  }
+  return w;
+}
+
+// --- Serialization ---------------------------------------------------------
+
+TEST(Witness, LocationTextRoundTrips) {
+  Location loc;
+  loc.node = 42;
+  loc.buffer = "acc";
+  loc.dim = 1;
+  loc.dim2 = 3;
+  loc.param = 16;
+  loc.space = ir::MemSpace::Stack;
+  Location back;
+  ASSERT_TRUE(transform::locationFromText(transform::locationToText(loc), back));
+  EXPECT_TRUE(loc == back);
+
+  Location minimal;  // all defaults except node
+  minimal.node = 7;
+  ASSERT_TRUE(
+      transform::locationFromText(transform::locationToText(minimal), back));
+  EXPECT_TRUE(minimal == back);
+
+  EXPECT_FALSE(transform::locationFromText("node", back));
+  EXPECT_FALSE(transform::locationFromText("space=moon", back));
+  EXPECT_FALSE(transform::locationFromText("frob=1", back));
+}
+
+TEST(Witness, TextRoundTrips) {
+  Witness w = benignWitness("softmax", "cpu", 4, 11);
+  w.layer = "interp";
+  w.detail = "trial 0: mismatch at y[0,1]";
+  const Witness back = witnessFromText(witnessToText(w));
+  EXPECT_EQ(back.kernel, w.kernel);
+  EXPECT_EQ(back.profile, w.profile);
+  EXPECT_EQ(back.seed, w.seed);
+  EXPECT_EQ(back.layer, w.layer);
+  EXPECT_EQ(back.detail, w.detail);
+  ASSERT_EQ(back.steps.size(), w.steps.size());
+  for (std::size_t i = 0; i < w.steps.size(); ++i) {
+    EXPECT_EQ(back.steps[i].transform, w.steps[i].transform);
+    EXPECT_TRUE(back.steps[i].loc == w.steps[i].loc);
+  }
+}
+
+TEST(Witness, RejectsMalformedInput) {
+  EXPECT_THROW(witnessFromText("kernel softmax\n"), Error);  // no header
+  EXPECT_THROW(witnessFromText("perfdojo-witness v1\nprofile cpu\n"), Error);
+  EXPECT_THROW(witnessFromText("perfdojo-witness v1\nkernel k\nprofile cpu\n"
+                               "action no_such_transform | node=1\n"),
+               Error);
+}
+
+// --- Oracle ----------------------------------------------------------------
+
+TEST(Oracle, PassesOnHeuristicSchedule) {
+  const ir::Program original = kernels::makeSoftmax(6, 10);
+  const auto h = search::heuristicPass(original, machines::xeon());
+  OracleOptions opts;
+  opts.check_codegen = true;
+  search::EvalCache cache;
+  const auto r =
+      checkOracle(original, h.current(), machines::xeon(), &cache, opts);
+  EXPECT_TRUE(r.ok) << oracleLayerName(r.layer) << ": " << r.detail;
+}
+
+TEST(Oracle, CatchesSemanticBreakAtInterpLayer) {
+  const ir::Program p = kernels::makeMul(4, 6);
+  const auto locs = evilMulToAdd().findApplicable(p, findProfile("cpu")->caps);
+  ASSERT_FALSE(locs.empty());
+  const ir::Program q = evilMulToAdd().apply(p, locs[0]);
+  OracleOptions opts;
+  search::EvalCache cache;
+  const auto r = checkOracle(p, q, machines::xeon(), &cache, opts);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.layer, OracleLayer::Interp);
+  EXPECT_NE(r.detail.find("mismatch"), std::string::npos) << r.detail;
+}
+
+TEST(Oracle, CodegenLayerAgreesOnTransformedPrograms) {
+  const ir::Program original = kernels::makeReduceMean(5, 9);
+  const auto h = search::heuristicPass(original, machines::xeon());
+  OracleOptions opts;
+  const auto r = checkCodegenAgreement(h.current(), opts);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Oracle, CacheSelfCheckDetectsPoisonedEntry) {
+  const ir::Program p = kernels::makeAdd(4, 4);
+  const auto& m = machines::xeon();
+  search::EvalCache cache;
+  std::string detail;
+  EXPECT_TRUE(cache.selfCheck(m, p, &detail)) << detail;
+
+  // Poison the memo table with a wrong cost for p's canonical hash: the
+  // self-check must notice the divergence from a fresh evaluation.
+  search::EvalCache poisoned;
+  poisoned.insert(m, ir::canonicalHash(p), m.evaluate(p) * 2 + 1);
+  EXPECT_FALSE(poisoned.selfCheck(m, p, &detail));
+  EXPECT_NE(detail.find("memoized cost"), std::string::npos) << detail;
+}
+
+// --- Minimizer -------------------------------------------------------------
+
+TEST(Minimizer, ShrinksToSingleEvilStep) {
+  const ir::Program original = kernels::makeMul(6, 8);
+  const auto* prof = findProfile("cpu");
+  ASSERT_NE(prof, nullptr);
+
+  // Two benign real actions, then the injected break.
+  Rng rng(3);
+  ir::Program p = original;
+  std::vector<Step> steps;
+  for (int i = 0; i < 2; ++i) {
+    const auto actions = transform::allActions(p, prof->caps);
+    ASSERT_FALSE(actions.empty());
+    const auto& a = actions[rng.uniform(actions.size())];
+    steps.push_back({a.transform, a.loc});
+    p = a.apply(p);
+  }
+  const auto evil_locs = evilMulToAdd().findApplicable(p, prof->caps);
+  ASSERT_FALSE(evil_locs.empty());
+  steps.push_back({&evilMulToAdd(), evil_locs[0]});
+
+  verify::VerifyOptions vo;
+  vo.trials = 1;
+  const FailurePredicate fails = [&](const std::vector<Step>& cand) {
+    transform::History::ReplayResult rr;
+    const auto q = transform::History::replay(original, cand, rr);
+    if (!q) return false;
+    return !verify::verifyEquivalent(original, *q, vo).equivalent;
+  };
+  ASSERT_TRUE(fails(steps));
+
+  MinimizeStats ms;
+  const auto minimal = minimizeTrajectory(steps, fails, &ms);
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0].transform, &evilMulToAdd());
+  EXPECT_EQ(ms.initial_steps, 3u);
+  EXPECT_EQ(ms.final_steps, 1u);
+  EXPECT_TRUE(fails(minimal));
+}
+
+// --- The meta-test ---------------------------------------------------------
+
+TEST(MetaTest, InjectedMisdetectionIsCaughtShrunkAndReplayable) {
+  const std::string dir = tempDir("fuzz_meta");
+  FuzzConfig cfg;
+  cfg.seed = 5;
+  cfg.kernels = {"mul"};
+  cfg.profiles = {"cpu"};
+  cfg.trajectories = 6;
+  cfg.max_steps = 8;
+  cfg.codegen_final = false;  // the injected bug is semantic, keep it fast
+  cfg.witness_dir = dir;
+  cfg.transforms = {&transform::splitScope(), &transform::interchangeScopes(),
+                    &evilMulToAdd()};
+
+  const auto r = runFuzz(cfg);
+  ASSERT_FALSE(r.ok()) << "oracle missed the injected mis-detection";
+  const Finding& f = r.findings.front();
+  EXPECT_EQ(f.witness.layer, "interp");
+  ASSERT_LE(f.witness.steps.size(), 3u);
+  ASSERT_GE(f.witness.steps.size(), 1u);
+  EXPECT_EQ(f.witness.steps.back().transform, &evilMulToAdd());
+  ASSERT_FALSE(f.file.empty());
+
+  // The emitted replay file must reproduce the failure, deterministically.
+  const Witness w = readWitnessFile(f.file, &testResolver);
+  OracleOptions opts;
+  const auto r1 = runWitness(w, opts);
+  const auto r2 = runWitness(w, opts);
+  ASSERT_FALSE(r1.ok);
+  EXPECT_EQ(r1.layer, OracleLayer::Interp);
+  EXPECT_EQ(r1.detail, r2.detail);
+  EXPECT_EQ(r1.layer, r2.layer);
+  EXPECT_EQ(f.report.detail, r1.detail);
+}
+
+TEST(MetaTest, OfferThenThrowIsCaughtAtApplyLayer) {
+  FuzzConfig cfg;
+  cfg.seed = 2;
+  cfg.kernels = {"add"};
+  cfg.profiles = {"cpu"};
+  cfg.trajectories = 1;
+  cfg.max_steps = 4;
+  cfg.codegen_final = false;
+  cfg.transforms = {&transform::splitScope(), &evilOfferThenThrow()};
+
+  const auto r = runFuzz(cfg);
+  ASSERT_FALSE(r.ok());
+  const Finding& f = r.findings.front();
+  EXPECT_EQ(f.witness.layer, "apply");
+  EXPECT_EQ(f.witness.steps.size(), 1u);
+  EXPECT_EQ(f.witness.steps.back().transform, &evilOfferThenThrow());
+}
+
+// --- Corpus + replay -------------------------------------------------------
+
+TEST(Corpus, BenignSeedsPassAndPoisonedSeedRegresses) {
+  const std::string dir = tempDir("fuzz_corpus");
+  writeWitnessFile(dir + "/a_softmax.witness",
+                   benignWitness("softmax", "cpu", 4, 21));
+  writeWitnessFile(dir + "/b_matmul.witness",
+                   benignWitness("matmul", "gpu", 3, 22));
+
+  OracleOptions opts;
+  const auto ok = runCorpus(dir, opts, &testResolver);
+  EXPECT_EQ(ok.total, 2);
+  EXPECT_TRUE(ok.ok()) << (ok.failures.empty()
+                               ? ""
+                               : ok.failures.front().second.detail);
+
+  // Add a witness for a still-broken transform: the corpus run must flag it.
+  Witness bad;
+  bad.kernel = "mul";
+  bad.profile = "cpu";
+  bad.seed = 9;
+  bad.layer = "interp";
+  const ir::Program p = kernels::findKernel("mul")->build_small();
+  const auto locs = evilMulToAdd().findApplicable(p, findProfile("cpu")->caps);
+  ASSERT_FALSE(locs.empty());
+  bad.steps.push_back({&evilMulToAdd(), locs[0]});
+  writeWitnessFile(dir + "/c_bad.witness", bad);
+
+  const auto regressed = runCorpus(dir, opts, &testResolver);
+  EXPECT_EQ(regressed.total, 3);
+  ASSERT_EQ(regressed.failures.size(), 1u);
+  EXPECT_NE(regressed.failures[0].first.find("c_bad"), std::string::npos);
+  EXPECT_EQ(regressed.failures[0].second.layer, OracleLayer::Interp);
+}
+
+TEST(Fuzzer, BudgetedRunTerminatesAndIsClean) {
+  FuzzConfig cfg;
+  cfg.seed = 17;
+  cfg.kernels = {"relu", "dot"};
+  cfg.budget_sec = 1.0;
+  cfg.max_steps = 6;
+  cfg.codegen_final = false;
+  const auto r = runFuzz(cfg);
+  EXPECT_TRUE(r.ok());
+  EXPECT_GT(r.stats.trajectories, 0);
+  EXPECT_LT(r.stats.wall_sec, 30.0);
+}
+
+}  // namespace
+}  // namespace perfdojo::fuzz

@@ -111,12 +111,28 @@ TEST(Parser, IterValueOperand) {
   EXPECT_TRUE(canonicallyEqual(p, parseProgram(printProgram(p))));
 }
 
+/// Asserts that parsing fails with a diagnostic containing `needle` — a
+/// malformed program must produce a targeted Error, never a crash or a
+/// generic message.
+std::string parseDiagnostic(const std::string& text) {
+  try {
+    parseProgram(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected parse failure for:\n" << text;
+  return "";
+}
+
 TEST(Parser, RejectsBadDepth) {
   const std::string text =
       "kernel k\nbuffer x f32 [8] heap\nin x\nout x\n\n"
       "8\n"
       "| x[{3}] = mov 0\n";
-  EXPECT_THROW(parseProgram(text), Error);
+  const std::string msg = parseDiagnostic(text);
+  EXPECT_NE(msg.find("iterator depth {3} out of range"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("nesting depth 1"), std::string::npos) << msg;
 }
 
 TEST(Parser, RejectsUnknownOp) {
@@ -124,7 +140,8 @@ TEST(Parser, RejectsUnknownOp) {
       "kernel k\nbuffer x f32 [8] heap\nin x\nout x\n\n"
       "8\n"
       "| x[{0}] = frobnicate 0\n";
-  EXPECT_THROW(parseProgram(text), Error);
+  const std::string msg = parseDiagnostic(text);
+  EXPECT_NE(msg.find("unknown op 'frobnicate'"), std::string::npos) << msg;
 }
 
 TEST(Parser, RejectsIndentJump) {
@@ -132,7 +149,55 @@ TEST(Parser, RejectsIndentJump) {
       "kernel k\nbuffer x f32 [8] heap\nin x\nout x\n\n"
       "8\n"
       "| | x[{0}] = mov 0\n";
-  EXPECT_THROW(parseProgram(text), Error);
+  const std::string msg = parseDiagnostic(text);
+  EXPECT_NE(msg.find("indentation jumps by more than one level"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(Parser, RejectsBadIndexExpression) {
+  // A non-integer, non-iterator index: the cursor reports what it wanted.
+  const std::string text =
+      "kernel k\nbuffer x f32 [8] heap\nin x\nout x\n\n"
+      "8\n"
+      "| x[$] = mov 0\n";
+  const std::string msg = parseDiagnostic(text);
+  EXPECT_NE(msg.find("expected integer"), std::string::npos) << msg;
+}
+
+TEST(Parser, RejectsUnknownDType) {
+  const std::string msg = parseDiagnostic(
+      "kernel k\nbuffer x f97 [8] heap\nin x\nout x\n\n8\n| x[{0}] = mov 0\n");
+  EXPECT_NE(msg.find("unknown dtype 'f97'"), std::string::npos) << msg;
+}
+
+TEST(Parser, RejectsUnknownMemSpace) {
+  const std::string msg = parseDiagnostic(
+      "kernel k\nbuffer x f32 [8] moon\nin x\nout x\n\n8\n| x[{0}] = mov 0\n");
+  EXPECT_NE(msg.find("unknown memory space 'moon'"), std::string::npos) << msg;
+}
+
+TEST(Parser, RejectsEmptyTreeLine) {
+  const std::string msg = parseDiagnostic(
+      "kernel k\nbuffer x f32 [8] heap\nin x\nout x\n\n8\n|\n");
+  EXPECT_NE(msg.find("empty tree line"), std::string::npos) << msg;
+}
+
+TEST(Parser, RejectsAccessToUndeclaredBuffer) {
+  const std::string msg = parseDiagnostic(
+      "kernel k\nbuffer x f32 [8] heap\nin x\nout x\n\n"
+      "8\n"
+      "| y[{0}] = mov x[{0}]\n");
+  EXPECT_NE(msg.find("unknown array 'y'"), std::string::npos) << msg;
+}
+
+TEST(Parser, DiagnosticsCarryLineNumbers) {
+  // The bad op is on line 7; the diagnostic must say so.
+  const std::string msg = parseDiagnostic(
+      "kernel k\nbuffer x f32 [8] heap\nin x\nout x\n\n"
+      "8\n"
+      "| x[{0}] = frobnicate 0\n");
+  EXPECT_NE(msg.find("line 7"), std::string::npos) << msg;
 }
 
 TEST(Parser, CommentsIgnored) {

@@ -2,6 +2,12 @@
 // returned by EVERY transformation's applicability detection produces a
 // numerically equivalent program, on every kernel, and the property still
 // holds along random multi-step transformation trajectories.
+//
+// Set PERFDOJO_SEED=<n> to shift every random choice in this suite; the
+// effective seed is printed on failure so a broken run can be replayed with
+// the same environment variable.
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "kernels/kernels.h"
@@ -11,6 +17,16 @@
 
 namespace perfdojo::transform {
 namespace {
+
+/// Seed override from the environment; 0 (the default) keeps the baked-in
+/// per-test seeds so CI stays deterministic.
+std::uint64_t envSeed() {
+  static const std::uint64_t seed = [] {
+    const char* s = std::getenv("PERFDOJO_SEED");
+    return s ? std::strtoull(s, nullptr, 10) : 0ull;
+  }();
+  return seed;
+}
 
 struct Target {
   const char* name;
@@ -38,12 +54,15 @@ verify::VerifyOptions tolerantOpts() {
   vo.trials = 1;
   vo.rel_tol = 1e-4;  // partial_reduce reassociates floating point
   vo.abs_tol = 1e-7;
+  vo.seed += envSeed();
   return vo;
 }
 
 class SingleStepP : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(SingleStepP, EveryApplicableActionPreservesSemantics) {
+  SCOPED_TRACE(::testing::Message()
+               << "PERFDOJO_SEED=" << envSeed() << " (re-export to replay)");
   const auto* k = kernels::findKernel(GetParam());
   ASSERT_NE(k, nullptr);
   const ir::Program p = k->build_small();
@@ -75,12 +94,14 @@ class TrajectoryP
 
 TEST_P(TrajectoryP, RandomWalksStayCorrect) {
   const auto& [label, seed] = GetParam();
+  SCOPED_TRACE(::testing::Message()
+               << "PERFDOJO_SEED=" << envSeed() << " (re-export to replay)");
   const auto* k = kernels::findKernel(label);
   ASSERT_NE(k, nullptr);
   const ir::Program original = k->build_small();
   for (const auto& tgt : targets()) {
     ir::Program p = original;
-    Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+    Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13 + envSeed());
     for (int step = 0; step < 12; ++step) {
       auto actions = allActions(p, tgt.caps);
       if (actions.empty()) break;
