@@ -1,6 +1,9 @@
 // Figure 9: performance during the manual code transformation process —
 // the runtime after every move, showing plateaus (enabling moves with no
-// immediate effect) and temporary regressions that later pay off.
+// immediate effect) and temporary regressions that later pay off. The cost
+// attribution layer makes the *why* visible: each move's row shows where the
+// cycles sit afterwards (compute vs pipeline stall vs loop overhead), so the
+// trace reads like the paper's manual walkthrough.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -21,29 +24,32 @@ int main() {
   const auto& m = machines::snitch();
   const auto kernel = kernels::makeSoftmax(8, 256);
   auto h = search::heuristicPass(kernel, m);
+  const auto steps = search::attributeHistory(h, m);
 
-  ir::Program p = h.original();
   std::vector<std::pair<std::string, double>> bars;
-  double prev = m.evaluate(p);
   int plateau_moves = 0, regressions = 0;
-  bars.emplace_back("start", prev);
-  for (std::size_t i = 0; i < h.steps().size(); ++i) {
-    const auto& s = h.steps()[i];
-    p = s.transform->apply(p, s.loc);
-    const double rt = m.evaluate(p);
-    if (rt > prev * 1.001) ++regressions;
-    else if (rt > prev * 0.999) ++plateau_moves;
-    bars.emplace_back("move " + std::to_string(i + 1) + " " + s.transform->name(),
-                      rt);
-    prev = rt;
+  Table t({"move", "transform", "cost [s]", "delta [s]", "attribution"});
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const auto& s = steps[i];
+    const double prev = i == 0 ? s.cost : steps[i - 1].cost;
+    if (i > 0) {
+      if (s.cost > prev * 1.001) ++regressions;
+      else if (s.cost > prev * 0.999) ++plateau_moves;
+    }
+    bars.emplace_back(
+        i == 0 ? "start" : "move " + std::to_string(i) + " " + s.transform,
+        s.cost);
+    t.addRow({std::to_string(i), i == 0 ? "(initial)" : s.transform,
+              fmt(s.cost, 4), i == 0 ? "" : fmt(s.cost - prev, 3),
+              bench::breakdownSummary(s.breakdown)});
   }
   std::printf("%s\n", Table::barChart(bars, "s (modeled)").c_str());
+  std::printf("%s\n", t.render().c_str());
   std::printf("moves: %zu | plateau moves (no immediate effect): %d | "
               "temporary regressions: %d\n",
               h.size(), plateau_moves, regressions);
   bench::paperVsMeasured("plateau/enabling moves present", "yes",
                          plateau_moves > 0 ? 1.0 : 0.0);
-  std::printf("final speedup: %.2fx\n",
-              m.evaluate(kernel) / m.evaluate(h.current()));
+  std::printf("final speedup: %.2fx\n", steps.front().cost / steps.back().cost);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "machines/machine.h"
 #include "support/stats.h"
 #include "support/strings.h"
 #include "support/table.h"
@@ -42,6 +43,24 @@ inline void paperVsMeasured(const std::string& metric, const std::string& paper,
   std::printf("[paper-vs-measured] %-42s paper=%-10s measured=%s%s\n",
               metric.c_str(), paper.c_str(), fmt(measured, 4).c_str(),
               unit.c_str());
+}
+
+/// Compact one-line rendering of a cost breakdown: non-zero components only,
+/// largest first is not needed — fixed order keeps columns comparable across
+/// rows ("compute 1.1e-06 | stall 3.2e-06 | loop 4e-07").
+inline std::string breakdownSummary(const machines::CostBreakdown& b) {
+  std::string out;
+  auto add = [&](const char* label, double v) {
+    if (v <= 0) return;
+    if (!out.empty()) out += " | ";
+    out += std::string(label) + " " + fmt(v, 3);
+  };
+  add("compute", b.compute);
+  add("stall", b.pipeline_stall);
+  add("memory", b.memory);
+  add("loop", b.loop_overhead);
+  add("launch", b.launch_overhead);
+  return out.empty() ? "-" : out;
 }
 
 }  // namespace perfdojo::bench

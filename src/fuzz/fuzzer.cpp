@@ -9,6 +9,7 @@
 #include "kernels/kernels.h"
 #include "support/common.h"
 #include "support/rng.h"
+#include "support/telemetry.h"
 
 namespace perfdojo::fuzz {
 
@@ -236,6 +237,15 @@ FuzzResult runFuzz(const FuzzConfig& cfg) {
       writeWitnessFile(path.string(), f.witness);
       f.file = path.string();
     }
+    if (cfg.telemetry)
+      cfg.telemetry->emit(
+          Event("fuzz_finding")
+              .str("kernel", f.witness.kernel)
+              .str("profile", f.witness.profile)
+              .str("layer", f.witness.layer)
+              .integer("steps",
+                       static_cast<std::int64_t>(f.witness.steps.size()))
+              .str("detail", f.report.detail));
     result.findings.push_back(std::move(f));
   };
 
@@ -257,6 +267,14 @@ FuzzResult runFuzz(const FuzzConfig& cfg) {
     ++result.stats.trajectories;
     auto out = walkOne(pair.original, *pair.profile, lib, seed, cfg, cache,
                        result.stats);
+    if (cfg.telemetry)
+      cfg.telemetry->emit(
+          Event("fuzz_trajectory")
+              .str("kernel", pair.kernel->label)
+              .str("profile", pair.profile->name)
+              .integer("index", index)
+              .integer("steps", static_cast<std::int64_t>(out.steps.size()))
+              .boolean("ok", out.report.ok));
     if (!out.report.ok) record(pair, std::move(out.steps), out.report, seed);
   };
 

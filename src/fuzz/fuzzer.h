@@ -21,6 +21,10 @@
 #include "fuzz/witness.h"
 #include "transform/transform.h"
 
+namespace perfdojo {
+class Telemetry;
+}
+
 namespace perfdojo::fuzz {
 
 /// A machine-caps profile under which trajectories are explored, paired with
@@ -56,6 +60,9 @@ struct FuzzConfig {
   /// Transform library to draw actions from; empty = allTransforms(). Tests
   /// append a deliberately mis-detecting transform here (the meta-test).
   std::vector<const transform::Transform*> transforms;
+  /// Optional JSONL sink: one "fuzz_trajectory" event per walk and one
+  /// "fuzz_finding" event per recorded (deduplicated) finding.
+  Telemetry* telemetry = nullptr;
 };
 
 struct Finding {

@@ -31,11 +31,21 @@ struct Acc {
 
 class CpuAnalyzer {
  public:
-  CpuAnalyzer(const Program& p, const CpuConfig& cfg) : p_(p), cfg_(cfg) {}
+  CpuAnalyzer(const Program& p, const CpuConfig& cfg, bool attribute = false)
+      : p_(p), cfg_(cfg), attribute_(attribute) {}
 
   Acc run() {
-    walk(p_.root, 1.0, 1, false);
+    walk(p_.root, 1.0, 1, false, "");
     return acc_;
+  }
+
+  /// Per-scope shares (attribute mode): issue+loop cycles and effective
+  /// bytes, keyed by canonical scope path.
+  const std::map<std::string, double>& cyclesByScope() const {
+    return cycles_by_scope_;
+  }
+  const std::map<std::string, double>& bytesByScope() const {
+    return bytes_by_scope_;
   }
 
  private:
@@ -48,7 +58,10 @@ class CpuAnalyzer {
     return 1.0;
   }
 
-  void walk(const Node& n, double mult, int vec_width, bool unrolled) {
+  /// `path` is the canonical path of scope `n` ("" for the root); op costs
+  /// attribute to the innermost enclosing scope's path.
+  void walk(const Node& n, double mult, int vec_width, bool unrolled,
+            const std::string& path) {
     if (n.isOp()) {
       const double issues = mult / vec_width;
       if (vec_width > 1) {
@@ -58,12 +71,15 @@ class CpuAnalyzer {
       } else {
         acc_.scalar_ops += issues;
       }
+      if (attribute_) cycles_by_scope_[path] += issues;
       if (n.op != ir::OpCode::Mov)
         acc_.flops += mult * ((n.op == ir::OpCode::Fma) ? 2.0 : 1.0);
       auto chargeAccess = [&](const ir::Access& a) {
         const Buffer* b = p_.bufferOfArray(a.array);
         require(b != nullptr, "cpumodel: unknown array");
-        acc_.eff_bytes += mult * ir::dtypeBytes(b->dtype) * cacheFactor(*b);
+        const double bytes = mult * ir::dtypeBytes(b->dtype) * cacheFactor(*b);
+        acc_.eff_bytes += bytes;
+        if (attribute_) bytes_by_scope_[path] += bytes;
       };
       chargeAccess(n.out);
       for (const auto& in : n.ins)
@@ -88,17 +104,48 @@ class CpuAnalyzer {
               std::max(acc_.parallel_extent, static_cast<double>(n.extent));
           break;
         default:
-          if (!unr && vw == 1) acc_.loop_iters += m;  // branch + index update
+          if (!unr && vw == 1) {
+            acc_.loop_iters += m;  // branch + index update
+            // Loop control shares the issue ports at half an op per
+            // iteration (the 0.5 factor of cpuAnalyze).
+            if (attribute_) cycles_by_scope_[path] += 0.5 * m;
+          }
           break;
       }
     }
-    for (const auto& c : n.children) walk(c, m, vw, unr);
+    for (std::size_t ci = 0; ci < n.children.size(); ++ci) {
+      const Node& c = n.children[ci];
+      walk(c, m, vw, unr,
+           c.isScope() ? path + scopePathSegment(ci, c) : path);
+    }
   }
 
   const Program& p_;
   const CpuConfig& cfg_;
+  const bool attribute_;
   Acc acc_;
+  std::map<std::string, double> cycles_by_scope_;
+  std::map<std::string, double> bytes_by_scope_;
 };
+
+CpuReport reportFromAcc(const Acc& acc, const CpuConfig& cfg) {
+  CpuReport r;
+  r.cores_used =
+      acc.parallel_extent > 0
+          ? std::min<double>(cfg.cores, acc.parallel_extent)
+          : 1.0;
+  // Issue-limited compute: one scalar op per cycle, one vector op per cycle,
+  // one loop-control uop per non-unrolled iteration (shares ports).
+  const double cycles = acc.scalar_ops + acc.vector_ops + 0.5 * acc.loop_iters;
+  r.compute_time = cycles / (cfg.freq * r.cores_used);
+  r.mem_time = acc.eff_bytes / cfg.mem_bw;
+  r.overhead_time =
+      acc.parallel_regions * cfg.parallel_overhead + cfg.call_overhead;
+  r.time = std::max(r.compute_time, r.mem_time) + r.overhead_time;
+  r.eff_bytes = acc.eff_bytes;
+  r.vec_fraction = acc.flops > 0 ? acc.vector_flops / acc.flops : 0.0;
+  return r;
+}
 
 class CpuMachine final : public Machine {
  public:
@@ -116,6 +163,29 @@ class CpuMachine final : public Machine {
 
   double evaluate(const Program& p) const override {
     return cpuAnalyze(p, cfg_).time;
+  }
+
+  CostBreakdown evaluateDetailed(const Program& p) const override {
+    CpuAnalyzer a(p, cfg_, /*attribute=*/true);
+    const Acc acc = a.run();
+    const CpuReport r = reportFromAcc(acc, cfg_);
+    CostBreakdown b;
+    const double core_rate = cfg_.freq * r.cores_used;
+    // Roofline: runtime is the dominating side of max(compute, memory) plus
+    // serial overheads; decompose and attribute the dominating side only.
+    if (r.compute_time >= r.mem_time) {
+      b.compute = (acc.scalar_ops + acc.vector_ops) / core_rate;
+      b.loop_overhead = 0.5 * acc.loop_iters / core_rate;
+      for (const auto& [path, cycles] : a.cyclesByScope())
+        b.by_scope[path] += cycles / core_rate;
+    } else {
+      b.memory = r.mem_time;
+      for (const auto& [path, bytes] : a.bytesByScope())
+        b.by_scope[path] += bytes / cfg_.mem_bw;
+    }
+    b.launch_overhead = r.overhead_time;  // fork/join + call overhead
+    b.by_scope[""] += r.overhead_time;
+    return b;
   }
 
   double peakTime(const Program& p) const override {
@@ -141,23 +211,7 @@ class CpuMachine final : public Machine {
 
 CpuReport cpuAnalyze(const Program& p, const CpuConfig& cfg) {
   CpuAnalyzer a(p, cfg);
-  const Acc acc = a.run();
-  CpuReport r;
-  r.cores_used =
-      acc.parallel_extent > 0
-          ? std::min<double>(cfg.cores, acc.parallel_extent)
-          : 1.0;
-  // Issue-limited compute: one scalar op per cycle, one vector op per cycle,
-  // one loop-control uop per non-unrolled iteration (shares ports).
-  const double cycles = acc.scalar_ops + acc.vector_ops + 0.5 * acc.loop_iters;
-  r.compute_time = cycles / (cfg.freq * r.cores_used);
-  r.mem_time = acc.eff_bytes / cfg.mem_bw;
-  r.overhead_time =
-      acc.parallel_regions * cfg.parallel_overhead + cfg.call_overhead;
-  r.time = std::max(r.compute_time, r.mem_time) + r.overhead_time;
-  r.eff_bytes = acc.eff_bytes;
-  r.vec_fraction = acc.flops > 0 ? acc.vector_flops / acc.flops : 0.0;
-  return r;
+  return reportFromAcc(a.run(), cfg);
 }
 
 const Machine& xeon() {

@@ -46,14 +46,18 @@ struct KernelStats {
   double per_thread_flops = 0;
   double per_thread_eff_bytes = 0;  // efficiency-scaled HBM traffic
   double per_thread_instrs = 0;
+  std::string path;           // canonical path of the :g scope
 };
 
 class GpuAnalyzer {
  public:
-  GpuAnalyzer(const Program& p, const GpuConfig& cfg) : p_(p), cfg_(cfg) {}
+  GpuAnalyzer(const Program& p, const GpuConfig& cfg, bool attribute = false)
+      : p_(p), cfg_(cfg), attribute_(attribute) {}
 
-  GpuReport run() {
-    walkHost(p_.root, 1.0);
+  /// When `detail` is non-null, fills the cost breakdown alongside the
+  /// report (requires attribute mode for the per-scope map).
+  GpuReport run(CostBreakdown* detail = nullptr) {
+    walkHost(p_.root, 1.0, "");
     GpuReport r;
     r.host_ops = static_cast<std::int64_t>(host_ops_);
     r.host_bytes = host_bytes_;
@@ -61,6 +65,14 @@ class GpuAnalyzer {
     // throughput plus streaming traffic for cache-missing buffers (fusion
     // and buffer reuse therefore help even before any GPU mapping).
     r.host_time = host_ops_ / cfg_.host_op_rate + host_bytes_ / cfg_.host_bw;
+    if (detail) {
+      detail->compute += host_ops_ / cfg_.host_op_rate;
+      detail->memory += host_bytes_ / cfg_.host_bw;
+      for (const auto& [path, ops] : host_ops_by_scope_)
+        detail->by_scope[path] += ops / cfg_.host_op_rate;
+      for (const auto& [path, bytes] : host_bytes_by_scope_)
+        detail->by_scope[path] += bytes / cfg_.host_bw;
+    }
     r.kernels = static_cast<int>(kernels_.size());
     for (const auto& [launches, k] : kernels_) {
       const double pad_block =
@@ -78,8 +90,9 @@ class GpuAnalyzer {
       // Latency floor: a single thread retires ~1 op per 4 ns when the
       // device is underfilled (no other warps to hide latency behind).
       const double t_lat = k.per_thread_instrs * 4e-9;
-      const double t = std::max({t_mem / std::max(util, 1e-3),
-                                 t_comp / std::max(util, 1e-3), t_lat}) +
+      const double t_mem_eff = t_mem / std::max(util, 1e-3);
+      const double t_comp_eff = t_comp / std::max(util, 1e-3);
+      const double t = std::max({t_mem_eff, t_comp_eff, t_lat}) +
                        cfg_.kernel_fixed;
       r.kernel_time += launches * (t + cfg_.launch_overhead);
       r.mem_time += launches * t_mem;
@@ -88,22 +101,41 @@ class GpuAnalyzer {
       r.device_flops += static_cast<std::int64_t>(launches * flops);
       r.pad_factor = pad_factor;
       r.block_threads = k.block_threads;
+      if (detail) {
+        // A kernel's time is its dominating roofline term (padding and
+        // coalescing inefficiencies are folded into the traffic), plus the
+        // fixed launch/tail costs.
+        if (t_mem_eff >= t_comp_eff && t_mem_eff >= t_lat)
+          detail->memory += launches * t_mem_eff;
+        else if (t_comp_eff >= t_lat)
+          detail->compute += launches * t_comp_eff;
+        else
+          detail->pipeline_stall += launches * t_lat;  // underfilled device
+        detail->launch_overhead +=
+            launches * (cfg_.kernel_fixed + cfg_.launch_overhead);
+        detail->by_scope[k.path] +=
+            launches * (t + cfg_.launch_overhead);
+      }
     }
     return r;
   }
 
  private:
   /// Host-level walk: plain scopes multiply; a :g scope becomes a kernel.
-  void walkHost(const Node& n, double mult) {
+  /// `path` is the canonical path of scope `n` ("" for the root).
+  void walkHost(const Node& n, double mult, const std::string& path) {
     if (n.isOp()) {
       host_ops_ += mult;
+      if (attribute_) host_ops_by_scope_[path] += mult;
       auto charge = [&](const ir::Access& a) {
         const Buffer* b = p_.bufferOfArray(a.array);
         require(b != nullptr, "gpusim: unknown array");
         if (b->space != ir::MemSpace::Heap) return;  // stack/register: cached
         const double factor =
             static_cast<double>(b->bytes()) < (1 << 20) ? 0.05 : 1.0;
-        host_bytes_ += mult * ir::dtypeBytes(b->dtype) * factor;
+        const double bytes = mult * ir::dtypeBytes(b->dtype) * factor;
+        host_bytes_ += bytes;
+        if (attribute_) host_bytes_by_scope_[path] += bytes;
       };
       charge(n.out);
       for (const auto& in : n.ins)
@@ -113,12 +145,16 @@ class GpuAnalyzer {
     if (n.anno == LoopAnno::GpuGrid) {
       KernelStats k;
       k.blocks = static_cast<double>(n.extent);
+      k.path = path;
       walkKernel(n, /*seq_mult=*/1.0, /*vector_width=*/1, k, /*top=*/true);
       kernels_.emplace_back(mult, k);
       return;
     }
     const double m = n.id == p_.root.id ? mult : mult * static_cast<double>(n.extent);
-    for (const auto& c : n.children) walkHost(c, m);
+    for (std::size_t ci = 0; ci < n.children.size(); ++ci) {
+      const Node& c = n.children[ci];
+      walkHost(c, m, c.isScope() ? path + scopePathSegment(ci, c) : path);
+    }
   }
 
   void walkKernel(const Node& n, double seq_mult, int vector_width,
@@ -184,9 +220,12 @@ class GpuAnalyzer {
 
   const Program& p_;
   const GpuConfig& cfg_;
+  const bool attribute_;
   double host_ops_ = 0;
   double host_bytes_ = 0;
   std::vector<std::pair<double, KernelStats>> kernels_;
+  std::map<std::string, double> host_ops_by_scope_;
+  std::map<std::string, double> host_bytes_by_scope_;
 };
 
 class GpuMachine final : public Machine {
@@ -207,6 +246,13 @@ class GpuMachine final : public Machine {
   double evaluate(const Program& p) const override {
     GpuAnalyzer a(p, cfg_);
     return a.run().total();
+  }
+
+  CostBreakdown evaluateDetailed(const Program& p) const override {
+    GpuAnalyzer a(p, cfg_, /*attribute=*/true);
+    CostBreakdown b;
+    a.run(&b);
+    return b;
   }
 
   double peakTime(const Program& p) const override {

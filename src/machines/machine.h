@@ -10,13 +10,47 @@
 // preserved even though absolute times are synthetic.
 #pragma once
 
+#include <cmath>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "ir/program.h"
+#include "support/common.h"
 #include "transform/transform.h"
 
 namespace perfdojo::machines {
+
+/// Where the modeled time of a program goes. All components are in seconds
+/// and sum to evaluate() (enforced by tests at 1e-9 relative tolerance), so
+/// a breakdown is a lossless explanation of the scalar cost — the Fig. 7-9 /
+/// Fig. 13-14 narratives (stalls, coalescing, launch overhead) made
+/// machine-readable.
+struct CostBreakdown {
+  double compute = 0;         // issue-/throughput-limited instruction time
+  double pipeline_stall = 0;  // dependence stalls / latency-boundedness
+  double memory = 0;          // memory-traffic time on the critical path
+  double loop_overhead = 0;   // loop control, setup, branch bookkeeping
+  double launch_overhead = 0; // kernel launches, fork/join, call overhead
+  /// Per-scope attribution, keyed by the scope's canonical path (see
+  /// scopePathSegment); "" is host/root-level time. Values are seconds and
+  /// also sum to total().
+  std::map<std::string, double> by_scope;
+
+  double total() const {
+    return compute + pipeline_stall + memory + loop_overhead + launch_overhead;
+  }
+};
+
+/// Canonical attribution key of one scope along the path from the root:
+/// "/<child-index>:<extent><anno-suffix>" — e.g. "/0:256:f". Concatenating
+/// segments from the root yields a stable, human-readable scope path that
+/// survives re-evaluation (unlike NodeIds, which are fresh per history).
+inline std::string scopePathSegment(std::size_t child_index,
+                                    const ir::Node& scope) {
+  return "/" + std::to_string(child_index) + ":" +
+         std::to_string(scope.extent) + ir::loopAnnoSuffix(scope.anno);
+}
 
 class Machine {
  public:
@@ -38,12 +72,23 @@ class Machine {
   /// this by construction: each call builds its own local analyzer.
   virtual double evaluate(const ir::Program& p) const = 0;
 
+  /// Cost attribution: evaluate(), decomposed into CostBreakdown components
+  /// and per-scope shares. Same purity/re-entrancy contract as evaluate().
+  /// More expensive than evaluate() (it builds attribution maps), so the
+  /// EvalCache/ParallelEvaluator hot paths never call it — only telemetry,
+  /// the `profile` subcommand and the benches do.
+  virtual CostBreakdown evaluateDetailed(const ir::Program& p) const = 0;
+
   /// Runtime of a perfect implementation (used for %-of-peak reporting).
   virtual double peakTime(const ir::Program& p) const = 0;
 
   double peakFraction(const ir::Program& p) const {
     const double t = evaluate(p);
-    return t > 0 ? peakTime(p) / t : 0.0;
+    // A broken model must fail loudly here, not report "0% of peak".
+    require(std::isfinite(t) && t > 0,
+            "Machine::peakFraction: " + name() +
+                "::evaluate() returned a non-positive or non-finite cost");
+    return peakTime(p) / t;
   }
 };
 

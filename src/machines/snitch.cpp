@@ -23,16 +23,36 @@ constexpr double kSsrSetup = 12.0;    // stream configuration per loop entry
 constexpr double kFrepSetup = 4.0;    // frep instruction issue
 constexpr double kLoopSetup = 1.0;
 
+/// Cycle accounting of the two pseudo dual-issue streams, split into the
+/// attribution components the breakdown reports. The scalar cost is
+/// max(int_cycles(), fp_cycles()) — whichever stream is critical.
 struct Cost {
-  double int_cycles = 0;
-  double fp_cycles = 0;
+  double int_mem = 0;   // loads/stores issued by the integer stream
+  double int_mov = 0;   // data-movement op issues
+  double int_loop = 0;  // loop control + SSR/FREP setup
+  double fp_issue = 0;  // FPU issue slots
+  double fp_stall = 0;  // pipeline-latency stalls beyond the issue slot
+
+  double int_cycles() const { return int_mem + int_mov + int_loop; }
+  double fp_cycles() const { return fp_issue + fp_stall; }
 };
 
+/// Walks the tree top-down carrying the iteration multiplicity, so every
+/// cycle can be attributed to the innermost enclosing scope's canonical
+/// path (attribute mode) at no extra cost to the plain evaluation.
 class Analyzer {
  public:
-  explicit Analyzer(const Program& p) : p_(p) {}
+  explicit Analyzer(const Program& p, bool attribute = false)
+      : p_(p), attribute_(attribute) {}
 
-  Cost total() { return nodeCost(p_.root, /*streamed=*/false, {}); }
+  Cost total() {
+    walk(p_.root, /*streamed=*/false, {}, /*mult=*/1.0, /*path=*/"");
+    return acc_;
+  }
+
+  /// Per-scope cycle shares of each stream (attribute mode only).
+  const std::map<std::string, double>& intByScope() const { return int_by_scope_; }
+  const std::map<std::string, double>& fpByScope() const { return fp_by_scope_; }
 
  private:
   /// enclosing: chain of (scope id, anno, extent) from outermost, used for
@@ -43,48 +63,62 @@ class Analyzer {
     std::int64_t extent;
   };
 
-  Cost nodeCost(const Node& n, bool streamed, std::vector<ScopeInfo> enclosing) {
-    if (n.isOp()) return opCost(n, streamed, enclosing);
-
-    const bool is_root = n.id == p_.root.id;
-    const bool stream_here =
-        n.anno == LoopAnno::Ssr || n.anno == LoopAnno::Frep;
-    enclosing.push_back({n.id, n.anno, n.extent});
-    Cost body;
-    for (const auto& c : n.children) {
-      const Cost cc = nodeCost(c, streamed || stream_here, enclosing);
-      body.int_cycles += cc.int_cycles;
-      body.fp_cycles += cc.fp_cycles;
-    }
-    if (is_root) return body;
-
-    Cost total;
-    double overhead = kLoopOverhead;
-    double setup = kLoopSetup;
-    switch (n.anno) {
-      case LoopAnno::Unroll:
-        overhead = 0;  // fully unrolled body, no branches
-        setup = 0;
-        break;
-      case LoopAnno::Frep:
-        overhead = 0;  // hardware loop
-        setup = kSsrSetup + kFrepSetup;
-        break;
-      case LoopAnno::Ssr:
-        overhead = kLoopOverhead;  // normal loop, streamed operands
-        setup = kSsrSetup;
-        break;
-      default:
-        break;
-    }
-    total.int_cycles =
-        static_cast<double>(n.extent) * (body.int_cycles + overhead) + setup;
-    total.fp_cycles = static_cast<double>(n.extent) * body.fp_cycles;
-    return total;
+  void chargeInt(double cycles, const std::string& path, double Cost::*part) {
+    acc_.*part += cycles;
+    if (attribute_) int_by_scope_[path] += cycles;
   }
 
-  Cost opCost(const Node& op, bool streamed, const std::vector<ScopeInfo>& enclosing) {
-    Cost c;
+  void chargeFp(double cycles, const std::string& path, double Cost::*part) {
+    acc_.*part += cycles;
+    if (attribute_) fp_by_scope_[path] += cycles;
+  }
+
+  /// `path` is the canonical path of scope `n` itself ("" for the root);
+  /// ops attribute to the innermost enclosing scope's path.
+  void walk(const Node& n, bool streamed, std::vector<ScopeInfo> enclosing,
+            double mult, const std::string& path) {
+    if (n.isOp()) {
+      opCost(n, streamed, enclosing, mult, path);
+      return;
+    }
+    const bool is_root = n.id == p_.root.id;
+    double child_mult = mult;
+    if (!is_root) {
+      double overhead = kLoopOverhead;
+      double setup = kLoopSetup;
+      switch (n.anno) {
+        case LoopAnno::Unroll:
+          overhead = 0;  // fully unrolled body, no branches
+          setup = 0;
+          break;
+        case LoopAnno::Frep:
+          overhead = 0;  // hardware loop
+          setup = kSsrSetup + kFrepSetup;
+          break;
+        case LoopAnno::Ssr:
+          overhead = kLoopOverhead;  // normal loop, streamed operands
+          setup = kSsrSetup;
+          break;
+        default:
+          break;
+      }
+      chargeInt(mult * static_cast<double>(n.extent) * overhead + mult * setup,
+                path, &Cost::int_loop);
+      child_mult = mult * static_cast<double>(n.extent);
+      enclosing.push_back({n.id, n.anno, n.extent});
+    }
+    const bool stream_here =
+        n.anno == LoopAnno::Ssr || n.anno == LoopAnno::Frep;
+    for (std::size_t ci = 0; ci < n.children.size(); ++ci) {
+      const Node& c = n.children[ci];
+      walk(c, streamed || stream_here, enclosing, child_mult,
+           c.isScope() ? path + scopePathSegment(ci, c) : path);
+    }
+  }
+
+  void opCost(const Node& op, bool streamed,
+              const std::vector<ScopeInfo>& enclosing, double mult,
+              const std::string& path) {
     // Integer stream: one load per array operand, one store for the output,
     // unless an SSR stream covers this op. A loop-invariant accumulator is
     // register-allocated by any compiler, so its per-iteration load and
@@ -96,15 +130,15 @@ class Analyzer {
       for (const auto& in : op.ins) {
         if (in.kind != Operand::Kind::Array) continue;
         if (reg_acc && in.access == op.out) continue;  // accumulator register
-        c.int_cycles += 1.0;
+        chargeInt(mult, path, &Cost::int_mem);
       }
-      if (!reg_acc) c.int_cycles += 1.0;  // store
+      if (!reg_acc) chargeInt(mult, path, &Cost::int_mem);  // store
     }
     if (op.op == ir::OpCode::Mov) {
-      // Pure data movement occupies the integer pipeline only.
-      if (streamed) c.int_cycles += 0.0;  // absorbed by the streams
-      else c.int_cycles += 1.0;
-      return c;
+      // Pure data movement occupies the integer pipeline only (absorbed by
+      // the streams when streamed).
+      if (!streamed) chargeInt(mult, path, &Cost::int_mov);
+      return;
     }
 
     // FPU stream: issue cost 1; dependent accumulations carried by the
@@ -136,11 +170,15 @@ class Analyzer {
         fp = std::max(1.0, kFpuLatency / chains);
       }
     }
-    c.fp_cycles += fp;  // one FPU instruction (fma counts as one issue slot)
-    return c;
+    chargeFp(mult, path, &Cost::fp_issue);  // one FPU issue (fma = one slot)
+    if (fp > 1.0) chargeFp(mult * (fp - 1.0), path, &Cost::fp_stall);
   }
 
   const Program& p_;
+  const bool attribute_;
+  Cost acc_;
+  std::map<std::string, double> int_by_scope_;
+  std::map<std::string, double> fp_by_scope_;
 };
 
 /// Arithmetic instruction count: the paper's peak metric assumes 1.0
@@ -186,7 +224,29 @@ class SnitchMachine final : public Machine {
   double evaluate(const Program& p) const override {
     Analyzer a(p);
     const Cost c = a.total();
-    return std::max(c.int_cycles, c.fp_cycles) / kFreqHz;
+    return std::max(c.int_cycles(), c.fp_cycles()) / kFreqHz;
+  }
+
+  CostBreakdown evaluateDetailed(const Program& p) const override {
+    Analyzer a(p, /*attribute=*/true);
+    const Cost c = a.total();
+    CostBreakdown b;
+    // The pseudo dual-issue core runs both streams concurrently: the whole
+    // runtime is the critical stream, so the breakdown decomposes that
+    // stream (the other runs for free in its shadow).
+    const bool fp_critical = c.fp_cycles() >= c.int_cycles();
+    const auto& per_scope = fp_critical ? a.fpByScope() : a.intByScope();
+    if (fp_critical) {
+      b.compute = c.fp_issue / kFreqHz;
+      b.pipeline_stall = c.fp_stall / kFreqHz;
+    } else {
+      b.compute = c.int_mov / kFreqHz;
+      b.memory = c.int_mem / kFreqHz;
+      b.loop_overhead = c.int_loop / kFreqHz;
+    }
+    for (const auto& [path, cycles] : per_scope)
+      b.by_scope[path] = cycles / kFreqHz;
+    return b;
   }
 
   double peakTime(const Program& p) const override {
@@ -204,9 +264,10 @@ SnitchReport snitchAnalyze(const Program& p) {
   Analyzer a(p);
   const Cost c = a.total();
   SnitchReport r;
-  r.int_cycles = c.int_cycles;
-  r.fp_cycles = c.fp_cycles;
-  r.cycles = std::max(c.int_cycles, c.fp_cycles);
+  r.int_cycles = c.int_cycles();
+  r.fp_cycles = c.fp_cycles();
+  r.stall_cycles = c.fp_stall;
+  r.cycles = std::max(c.int_cycles(), c.fp_cycles());
   r.flops = p.flopCount();
   const auto instrs = static_cast<double>(std::max<std::int64_t>(instrCount(p), 1));
   r.peak_fraction = r.cycles > 0 ? instrs / r.cycles : 0.0;

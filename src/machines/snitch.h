@@ -20,8 +20,9 @@ namespace perfdojo::machines {
 
 struct SnitchReport {
   double cycles = 0;
-  double int_cycles = 0;  // integer/load-store stream
-  double fp_cycles = 0;   // FPU stream incl. dependency stalls
+  double int_cycles = 0;   // integer/load-store stream
+  double fp_cycles = 0;    // FPU stream incl. dependency stalls
+  double stall_cycles = 0; // pipeline-latency share of fp_cycles
   std::int64_t flops = 0;
   double peak_fraction = 0;
 };

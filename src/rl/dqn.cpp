@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/common.h"
+#include "support/telemetry.h"
 
 namespace perfdojo::rl {
 
@@ -61,15 +62,24 @@ void DqnAgent::trainStep() {
   const auto batch =
       replay_.sample(static_cast<std::size_t>(cfg_.batch_size), rng_);
   online_.zeroGrad();
+  double sq_err = 0;
   for (const Transition* t : batch) {
     const double y = targetFor(*t);
     const double q = online_.forward(t->x);
     const double d = q - y;  // dMSE/dq = 2(q-y); fold 2 into lr
+    sq_err += d * d;
     online_.backward(d / cfg_.batch_size);
   }
   online_.adamStep(cfg_.lr);
+  last_loss_ = sq_err / cfg_.batch_size;
   ++updates_;
-  if (updates_ % cfg_.target_sync_every == 0) target_.copyWeightsFrom(online_);
+  if (updates_ % cfg_.target_sync_every == 0) {
+    target_.copyWeightsFrom(online_);
+    if (cfg_.telemetry)
+      cfg_.telemetry->emit(Event("dqn_sync")
+                               .integer("updates", updates_)
+                               .num("loss", last_loss_));
+  }
 }
 
 void DqnAgent::observe(Transition t) {

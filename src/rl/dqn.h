@@ -12,6 +12,10 @@
 #include "rl/replay.h"
 #include "support/rng.h"
 
+namespace perfdojo {
+class Telemetry;
+}
+
 namespace perfdojo::rl {
 
 struct DqnConfig {
@@ -28,6 +32,8 @@ struct DqnConfig {
   std::size_t replay_capacity = 4096;
   std::size_t min_replay = 48;  // warm-up before learning starts
   std::uint64_t seed = 7;
+  /// Optional JSONL sink for "dqn_sync" events at target-network syncs.
+  Telemetry* telemetry = nullptr;
 };
 
 class DqnAgent {
@@ -45,6 +51,9 @@ class DqnAgent {
   void observe(Transition t);
 
   int updates() const { return updates_; }
+  /// Mean squared TD error of the most recent minibatch (0 before the first
+  /// learning step) — the loss curve of the telemetry stream.
+  double lastLoss() const { return last_loss_; }
   const DqnConfig& config() const { return cfg_; }
 
  private:
@@ -57,6 +66,7 @@ class DqnAgent {
   QNetwork target_;
   ReplayBuffer replay_;
   int updates_ = 0;
+  double last_loss_ = 0;
 };
 
 }  // namespace perfdojo::rl

@@ -1,9 +1,11 @@
 #include "rl/env.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
 #include "support/common.h"
+#include "support/telemetry.h"
 
 namespace perfdojo::rl {
 
@@ -81,8 +83,15 @@ std::vector<EnvCandidate> PerfDojoEnv::candidates(Rng& rng) {
 }
 
 double PerfDojoEnv::shapedReward() const {
-  const double raw = cfg_.reward_scale / dojo_->runtime();
-  return cfg_.log_reward ? std::log(raw) : raw;
+  const double rt = dojo_->runtime();
+  // r = c/T blows up on a zero runtime and goes NaN on a non-finite one
+  // (log_reward additionally maps 0 to -inf). A degenerate evaluation earns
+  // a neutral reward instead of corrupting the replay buffer / Q targets.
+  if (!std::isfinite(rt) || rt <= 0) return 0.0;
+  const double raw = cfg_.reward_scale / rt;
+  double r = cfg_.log_reward ? std::log(raw) : raw;
+  if (!std::isfinite(r)) return 0.0;
+  return std::clamp(r, -cfg_.reward_clamp, cfg_.reward_clamp);
 }
 
 PerfDojoEnv::StepResult PerfDojoEnv::step(const EnvCandidate& c) {
@@ -90,6 +99,12 @@ PerfDojoEnv::StepResult PerfDojoEnv::step(const EnvCandidate& c) {
   if (c.is_stop) {
     r.reward = shapedReward();
     r.terminal = true;
+    if (cfg_.telemetry)
+      cfg_.telemetry->emit(Event("rl_step")
+                               .integer("step", steps_)
+                               .boolean("stop", true)
+                               .num("reward", r.reward)
+                               .num("runtime", dojo_->runtime()));
     return r;
   }
   dojo_->play(c.action);
@@ -102,6 +117,14 @@ PerfDojoEnv::StepResult PerfDojoEnv::step(const EnvCandidate& c) {
     best_runtime_ = dojo_->runtime();
     best_ = dojo_->program();
   }
+  if (cfg_.telemetry)
+    cfg_.telemetry->emit(Event("rl_step")
+                             .integer("step", steps_)
+                             .boolean("stop", false)
+                             .str("action", c.action.transform->name())
+                             .num("reward", r.reward)
+                             .num("runtime", dojo_->runtime())
+                             .num("best", best_runtime_));
   return r;
 }
 

@@ -12,6 +12,10 @@
 #include "rl/nn.h"
 #include "support/rng.h"
 
+namespace perfdojo {
+class Telemetry;
+}
+
 namespace perfdojo::rl {
 
 struct EnvConfig {
@@ -21,6 +25,12 @@ struct EnvConfig {
   /// Report log(c/T) instead of c/T: degradations earn negative rewards and
   /// the Q-regression targets stay well-conditioned across 100x speedups.
   bool log_reward = true;
+  /// Rewards are clamped into [-reward_clamp, reward_clamp]; a zero or
+  /// non-finite model runtime yields reward 0 instead of inf/NaN, so one
+  /// degenerate evaluation cannot poison the replay buffer or the Q targets.
+  double reward_clamp = 1e9;
+  /// Optional JSONL sink for per-step "rl_step" events (nullptr = off).
+  Telemetry* telemetry = nullptr;
 };
 
 struct EnvCandidate {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/common.h"
+#include "support/telemetry.h"
 
 namespace perfdojo::rl {
 
@@ -18,6 +19,7 @@ PerfLLMResult optimizeKernel(const ir::Program& kernel,
   // network regresses over a well-conditioned range on every kernel.
   ec.reward_scale = m.evaluate(kernel);
   ec.log_reward = cfg.log_reward;
+  ec.telemetry = cfg.telemetry;
   PerfDojoEnv env(kernel, m, embedder, ec);
 
   DqnConfig dc;
@@ -28,6 +30,7 @@ PerfLLMResult optimizeKernel(const ir::Program& kernel,
   dc.use_dueling = cfg.use_dueling;
   dc.use_max_bellman = cfg.use_max_bellman;
   dc.seed = cfg.seed ^ 0xD00D;
+  dc.telemetry = cfg.telemetry;
   DqnAgent agent(dc);
 
   Rng rng(cfg.seed);
@@ -66,6 +69,14 @@ PerfLLMResult optimizeKernel(const ir::Program& kernel,
     }
     epsilon = std::max(cfg.epsilon_end, epsilon * cfg.epsilon_decay);
     res.episode_best.push_back(env.bestRuntime());
+    if (cfg.telemetry)
+      cfg.telemetry->emit(Event("rl_episode")
+                              .integer("episode", ep)
+                              .num("epsilon", epsilon)
+                              .num("best_runtime", env.bestRuntime())
+                              .num("loss", agent.lastLoss())
+                              .integer("dqn_updates", agent.updates())
+                              .integer("evals", env.evals()));
   }
 
   res.best = env.bestProgram();

@@ -28,6 +28,9 @@ struct PerfLLMConfig {
   bool use_max_bellman = true;
   bool log_reward = true;  // see EnvConfig::log_reward
   std::uint64_t seed = 17;
+  /// Optional JSONL sink, forwarded to the env ("rl_step") and the agent
+  /// ("dqn_sync"); the trainer adds one "rl_episode" event per episode.
+  Telemetry* telemetry = nullptr;
 };
 
 struct PerfLLMResult {

@@ -4,8 +4,9 @@
 
 #include "ir/walk.h"
 #include "search/evalcache.h"
-#include "transform/deps.h"
 #include "support/common.h"
+#include "support/telemetry.h"
+#include "transform/deps.h"
 
 namespace perfdojo::search {
 
@@ -437,6 +438,48 @@ History greedyPass(ir::Program p, const machines::Machine& m) {
 
 History heuristicPass(ir::Program p, const machines::Machine& m) {
   return hardwarePass(std::move(p), m, /*expert=*/true);
+}
+
+std::vector<StepAttribution> attributeHistory(const transform::History& h,
+                                              const machines::Machine& m,
+                                              Telemetry* sink) {
+  std::vector<StepAttribution> out;
+  out.reserve(h.size() + 1);
+  ir::Program state = h.original();
+  StepAttribution init;
+  init.cost = m.evaluate(state);
+  init.breakdown = m.evaluateDetailed(state);
+  out.push_back(std::move(init));
+  for (const auto& step : h.steps()) {
+    state = transform::Action{step.transform, step.loc}.apply(state);
+    StepAttribution sa;
+    sa.transform = step.transform->name();
+    sa.location = transform::locationToText(step.loc);
+    sa.cost = m.evaluate(state);
+    sa.breakdown = m.evaluateDetailed(state);
+    out.push_back(std::move(sa));
+  }
+  if (sink) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const auto& sa = out[i];
+      const auto& b = sa.breakdown;
+      Event e("transform_step");
+      e.integer("step", static_cast<std::int64_t>(i))
+          .str("machine", m.name())
+          .str("transform", sa.transform)
+          .str("loc", sa.location)
+          .num("cost", sa.cost)
+          .num("delta", i == 0 ? 0.0 : sa.cost - out[i - 1].cost)
+          .num("compute", b.compute)
+          .num("pipeline_stall", b.pipeline_stall)
+          .num("memory", b.memory)
+          .num("loop_overhead", b.loop_overhead)
+          .num("launch_overhead", b.launch_overhead)
+          .numbers("by_scope", b.by_scope);
+      sink->emit(e);
+    }
+  }
+  return out;
 }
 
 History bestPass(ir::Program p, const machines::Machine& m, EvalCache* cache) {

@@ -11,9 +11,15 @@
 #pragma once
 
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "machines/machine.h"
 #include "transform/history.h"
+
+namespace perfdojo {
+class Telemetry;
+}
 
 namespace perfdojo::search {
 
@@ -30,6 +36,25 @@ transform::History heuristicPass(ir::Program p, const machines::Machine& m);
 /// frequently coincide with states a search run has already priced.
 transform::History bestPass(ir::Program p, const machines::Machine& m,
                             EvalCache* cache = nullptr);
+
+/// One step of a transformation sequence with the cost attribution of the
+/// program state *after* the step. Entry 0 is the untransformed program
+/// (empty transform/location).
+struct StepAttribution {
+  std::string transform;  // "" for the initial state
+  std::string location;   // locationToText of where it was applied
+  double cost = 0;        // machine cost after this step (seconds)
+  machines::CostBreakdown breakdown;
+};
+
+/// Replays `h` from its source program step by step, pricing every
+/// intermediate state with evaluateDetailed — the paper's Fig. 9 manual
+/// trace ("which transformation moved which cycles where"), automated.
+/// When `sink` is given, one "transform_step" event per entry is emitted
+/// with the cost delta and per-component breakdown.
+std::vector<StepAttribution> attributeHistory(const transform::History& h,
+                                              const machines::Machine& m,
+                                              Telemetry* sink = nullptr);
 
 /// Helpers shared by passes and the heuristic search neighborhoods.
 namespace detail {

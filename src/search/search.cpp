@@ -14,6 +14,7 @@
 #include "search/parallel_eval.h"
 #include "search/pass.h"
 #include "support/common.h"
+#include "support/telemetry.h"
 
 namespace perfdojo::search {
 
@@ -33,6 +34,10 @@ const char* spaceStructureName(SpaceStructure s) {
 
 bool saAccept(double delta, double temp, Rng& rng) {
   if (delta <= 0) return true;
+  // A NaN delta fails `delta <= 0` and would silently feed exp(-NaN) below;
+  // +inf would draw a uniform only to compare it against exp(-inf) == 0.
+  // Reject both before touching the RNG.
+  if (!std::isfinite(delta)) return false;
   return rng.uniformReal() < std::exp(-delta / std::max(temp, 1e-6));
 }
 
@@ -171,18 +176,39 @@ struct Tracker {
   std::vector<double> trace;
   int evals = 0;
   int budget;
+  std::int64_t nonfinite = 0;  // recorded evaluations with NaN/inf cost
+  Telemetry* sink = nullptr;   // optional; record() runs on the decision
+                               // thread only, so the event order is fixed
 
   explicit Tracker(int b) : budget(b) {}
 
   bool exhausted(int in_flight = 0) const { return evals + in_flight >= budget; }
 
+  /// A non-finite runtime is counted and traced but can never become the
+  /// best program: `NaN < best` is false by IEEE semantics, but +/-inf (or a
+  /// negative-cost model bug) must be fenced explicitly.
+  bool admissible(double runtime) const {
+    return std::isfinite(runtime) && runtime >= 0;
+  }
+
+  void emitEval(double runtime) {
+    if (!sink) return;
+    sink->emit(Event("search_eval")
+                   .integer("eval", evals)
+                   .num("runtime", runtime)
+                   .num("best", best_runtime));
+  }
+
   void record(const ir::Program& p, double runtime) {
     ++evals;
-    if (runtime < best_runtime) {
+    if (!admissible(runtime)) {
+      ++nonfinite;
+    } else if (runtime < best_runtime) {
       best_runtime = runtime;
       best = p;
     }
     trace.push_back(best_runtime);
+    emitEval(runtime);
   }
 
   /// Record an evaluation whose program is materialized lazily — used by the
@@ -190,11 +216,14 @@ struct Tracker {
   /// the best (its first evaluation already set best_runtime <= runtime).
   void record(double runtime, const std::function<ir::Program()>& make) {
     ++evals;
-    if (runtime < best_runtime) {
+    if (!admissible(runtime)) {
+      ++nonfinite;
+    } else if (runtime < best_runtime) {
       best_runtime = runtime;
       best = make();
     }
     trace.push_back(best_runtime);
+    emitEval(runtime);
   }
 };
 
@@ -238,6 +267,14 @@ class DeferredEvals {
 
 constexpr double kPendingRuntime = -1.0;
 
+/// Runtimes stored in sampling pools feed 1/runtime draw weights; one NaN or
+/// inf entry would poison every subsequent Rng::weightedIndex call. Store
+/// degenerate costs as a huge-but-finite sentinel instead (weight ~0: such a
+/// parent is effectively never drawn, matching the intent of rejecting it).
+double poolRuntime(double rt) {
+  return (std::isfinite(rt) && rt > 0) ? rt : 1e300;
+}
+
 struct PoolEntry {
   ir::Program program;
   double runtime;         // kPendingRuntime while the evaluation is in flight
@@ -251,7 +288,7 @@ void randomSamplingEdges(const ir::Program& kernel,
   std::vector<PoolEntry> pool;
   const double t0 = ev.cost(kernel);
   tr.record(kernel, t0);
-  pool.push_back({kernel, t0, t0});
+  pool.push_back({kernel, poolRuntime(t0), poolRuntime(t0)});
   DeferredEvals batch(ev, tr);
   // Parent draws depend only on parent_runtime values (known at submission
   // time), never on a candidate's own cost, so evaluations can lag behind
@@ -275,8 +312,9 @@ void randomSamplingEdges(const ir::Program& kernel,
     ir::Program child = a.apply(parent.program);
     const std::size_t slot = pool.size();
     pool.push_back({child, kPendingRuntime, parent.runtime});
-    batch.submit(std::move(child),
-                 [&pool, slot](double rt) { pool[slot].runtime = rt; });
+    batch.submit(std::move(child), [&pool, slot](double rt) {
+      pool[slot].runtime = poolRuntime(rt);
+    });
     if (batch.inFlight() >= ev.batchLimit()) batch.flush();
     if (pool.size() > 4096) {
       batch.flush();  // resolve slot indices before compacting
@@ -316,7 +354,8 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
     const std::size_t ai = rng.uniform(actions.size());
     double rt;
     std::optional<ir::Program> cand;
-    if (ev.memoizing() && action_cost[ai] != kPendingRuntime) {
+    const bool memo_hit = ev.memoizing() && action_cost[ai] != kPendingRuntime;
+    if (memo_hit) {
       // Re-drawn action on an unchanged state: the cost is known, so skip
       // the apply + hash + evaluate entirely. Its first evaluation already
       // set best_runtime <= rt, so the lazy record can never materialize.
@@ -330,7 +369,19 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
       tr.record(*cand, rt);
     }
     const double delta = (rt - cur_rt) / base_rt;
-    if (saAccept(delta, temp, rng)) {
+    const bool accepted = saAccept(delta, temp, rng);
+    if (cfg.telemetry)
+      cfg.telemetry->emit(
+          Event("sa_step")
+              .integer("eval", tr.evals)
+              .str("action", actions[ai].transform->name())
+              .str("loc", transform::locationToText(actions[ai].loc))
+              .num("runtime", rt)
+              .num("delta", delta)
+              .num("temp", temp)
+              .boolean("accepted", accepted)
+              .boolean("memo_hit", memo_hit));
+    if (accepted) {
       cur = cand ? std::move(*cand) : actions[ai].apply(cur);
       cur_rt = rt;
       ++steps;
@@ -415,14 +466,14 @@ void randomSamplingHeuristic(const ir::Program& kernel,
   std::vector<SeqState> pool;
   const double t0 = ev.cost(kernel);
   tr.record(kernel, t0);
-  pool.push_back({{}, t0, t0});
+  pool.push_back({{}, poolRuntime(t0), poolRuntime(t0)});
   {
     const auto seed_steps = initialSequence(kernel, m);
     ir::Program prog;
     if (replaySequence(kernel, seed_steps, prog)) {
       const double rt = ev.cost(prog);
       tr.record(prog, rt);
-      pool.push_back({seed_steps, rt, t0});
+      pool.push_back({seed_steps, poolRuntime(rt), poolRuntime(t0)});
     }
   }
   DeferredEvals batch(ev, tr);
@@ -447,8 +498,9 @@ void randomSamplingHeuristic(const ir::Program& kernel,
     barren = 0;
     const std::size_t slot = pool.size();
     pool.push_back({std::move(cand), kPendingRuntime, parent.runtime});
-    batch.submit(std::move(prog),
-                 [&pool, slot](double rt) { pool[slot].runtime = rt; });
+    batch.submit(std::move(prog), [&pool, slot](double rt) {
+      pool[slot].runtime = poolRuntime(rt);
+    });
     if (batch.inFlight() >= ev.batchLimit()) batch.flush();
     if (pool.size() > 4096) {
       batch.flush();
@@ -494,7 +546,21 @@ void annealingHeuristic(const ir::Program& kernel, const machines::Machine& m,
     const double rt = ev.cost(prog);
     tr.record(prog, rt);
     const double delta = (rt - cur_rt) / base_rt;
-    if (saAccept(delta, temp, rng)) {
+    const bool accepted = saAccept(delta, temp, rng);
+    if (cfg.telemetry) {
+      Event e("sa_step");
+      e.integer("eval", tr.evals)
+          .integer("seq_len", static_cast<std::int64_t>(cand.size()));
+      if (!cand.empty())
+        e.str("action", cand.back().transform->name())
+            .str("loc", transform::locationToText(cand.back().loc));
+      e.num("runtime", rt)
+          .num("delta", delta)
+          .num("temp", temp)
+          .boolean("accepted", accepted);
+      cfg.telemetry->emit(e);
+    }
+    if (accepted) {
       cur = std::move(cand);
       cur_rt = rt;
     }
@@ -516,6 +582,14 @@ SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
 
   Tracker tr(cfg.budget);
   tr.best = kernel;
+  tr.sink = cfg.telemetry;
+  if (cfg.telemetry)
+    cfg.telemetry->emit(Event("search_begin")
+                            .str("machine", m.name())
+                            .str("method", searchMethodName(cfg.method))
+                            .str("structure", spaceStructureName(cfg.structure))
+                            .integer("budget", cfg.budget)
+                            .integer("seed", static_cast<std::int64_t>(cfg.seed)));
   if (cfg.structure == SpaceStructure::Edges) {
     if (cfg.method == SearchMethod::RandomSampling)
       randomSamplingEdges(kernel, m, cfg, ev, tr);
@@ -533,11 +607,24 @@ SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
   r.evals = tr.evals;
   r.trace = std::move(tr.trace);
   ev.fillStats(r.stats);
+  r.stats.nonfinite_rejected = tr.nonfinite;
   r.stats.best_trace = r.trace;
   r.stats.wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 start)
           .count();
+  if (cfg.telemetry)
+    // Cache hit/miss totals live here rather than in per-eval events: their
+    // per-event split is thread-schedule dependent, the totals are not.
+    cfg.telemetry->emit(Event("search_end")
+                            .num("best_runtime", r.best_runtime)
+                            .integer("evals", r.evals)
+                            .integer("cache_hits", r.stats.cache_hits)
+                            .integer("machine_evals", r.stats.machine_evals)
+                            .integer("unique_programs", r.stats.unique_programs)
+                            .integer("nonfinite_rejected",
+                                     r.stats.nonfinite_rejected)
+                            .num("wall_ms", r.stats.wall_ms));
   return r;
 }
 

@@ -19,6 +19,10 @@
 #include "support/rng.h"
 #include "transform/history.h"
 
+namespace perfdojo {
+class Telemetry;
+}
+
 namespace perfdojo::search {
 
 class EvalCache;
@@ -43,6 +47,10 @@ struct SearchConfig {
   /// Memoize evaluations by canonical program hash. Costs are deterministic,
   /// so this changes wall-clock and raw machine-eval counts, never results.
   bool use_cache = true;
+  /// Optional JSONL event sink (nullptr = off). Per-evaluation and per-SA-step
+  /// events are emitted from the search decision thread only, so for a given
+  /// seed the trace is bit-identical at any `threads` setting.
+  Telemetry* telemetry = nullptr;
 };
 
 /// Accounting of the evaluation layer for one search run.
@@ -51,6 +59,10 @@ struct SearchStats {
   std::int64_t cache_hits = 0;       // served from the memo table
   std::int64_t machine_evals = 0;    // raw machine-model runs (cache misses)
   std::int64_t unique_programs = 0;  // distinct canonical programs priced
+  /// Candidates whose cost came back NaN/inf: never promoted to best, never
+  /// accepted by annealing, stored in sampling pools only as a huge finite
+  /// sentinel (a broken model cannot poison the search state).
+  std::int64_t nonfinite_rejected = 0;
   int threads_used = 1;
   double wall_ms = 0;                // wall-clock of the whole search
   /// Best-so-far runtime after each requested evaluation (the convergence
@@ -78,7 +90,10 @@ SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
 
 /// Simulated-annealing acceptance rule (Metropolis): always accept an
 /// improvement; accept a regression of relative size `delta` with
-/// probability exp(-delta / temp). Consumes one uniform draw iff delta > 0.
+/// probability exp(-delta / temp). A non-finite delta (NaN/inf cost leaking
+/// into the comparison) is rejected outright. Consumes one uniform draw iff
+/// delta is finite and > 0, so degenerate costs do not perturb the RNG
+/// stream of the surviving decisions.
 bool saAccept(double delta, double temp, Rng& rng);
 
 /// Temperature after `evals` recorded evaluations under the configured

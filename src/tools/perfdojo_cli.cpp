@@ -4,6 +4,9 @@
 //   perfdojo show      --kernel softmax            # textual IR
 //   perfdojo optimize  --kernel softmax --machine xeon
 //                      --method heuristic|search|rl [--budget N] [--emit c|cuda|ir]
+//   perfdojo profile   --kernel softmax --machine snitch
+//                      [--method naive|greedy|heuristic|best] [--top N]
+//                      # per-transform cost attribution (the Fig. 9 trace)
 //   perfdojo compare   --kernel softmax --machine xeon  # vs every baseline
 //   perfdojo libgen    --machine gh200 --out dir --method heuristic
 //   perfdojo fuzz      [--budget-sec N | --trajectories N] [--seed S]
@@ -12,10 +15,14 @@
 //
 // Exit status is non-zero on unknown kernels/machines/flags, and for `fuzz`
 // also when any oracle failure is found (or a corpus seed regresses).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/baselines.h"
 #include "codegen/c_codegen.h"
@@ -29,6 +36,7 @@
 #include "search/search.h"
 #include "support/strings.h"
 #include "support/table.h"
+#include "support/telemetry.h"
 
 using namespace perfdojo;
 
@@ -57,7 +65,7 @@ Args parse(int argc, char** argv) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: perfdojo <list|show|optimize|compare|libgen|fuzz> [flags]\n"
+               "usage: perfdojo <list|show|optimize|profile|compare|libgen|fuzz> [flags]\n"
                "  --kernel <label>    (see `perfdojo list`)\n"
                "  --machine <name>    snitch | xeon | gh200 | mi300a\n"
                "  --method <m>        heuristic | search | rl | naive | greedy | best\n"
@@ -66,6 +74,10 @@ int usage() {
                "  --no-cache <0|1>    1 disables evaluation memoization\n"
                "  --emit <fmt>        ir | c | cuda\n"
                "  --out <dir>         libgen / fuzz-witness output directory\n"
+               "  --trace-out <file>  append JSONL telemetry events to <file>\n"
+               "profile flags (per-transform cost attribution):\n"
+               "  --method <m>        naive | greedy | heuristic | best\n"
+               "  --top <n>           scopes shown in the attribution table\n"
                "fuzz flags:\n"
                "  --budget-sec <s>    wall-clock fuzzing budget (0 = use --trajectories)\n"
                "  --trajectories <n>  trajectories per (kernel, profile) pair\n"
@@ -76,6 +88,14 @@ int usage() {
                "  --corpus <dir>      re-run *.witness regression seeds first\n"
                "  --replay <file>     re-execute one witness and exit\n");
   return 2;
+}
+
+/// JSONL sink for --trace-out; nullptr (telemetry off) when the flag is
+/// absent. Subsystem hooks all accept the nullptr.
+std::unique_ptr<Telemetry> makeTrace(const Args& a) {
+  const auto path = a.get("trace-out");
+  if (path.empty()) return nullptr;
+  return Telemetry::toFile(path);
 }
 
 const kernels::KernelInfo* needKernel(const Args& a) {
@@ -126,6 +146,7 @@ int cmdOptimize(const Args& a) {
   if (!k || !m) return 2;
   const auto method = a.get("method", "heuristic");
   const int budget = std::atoi(a.get("budget", "300").c_str());
+  const auto trace = makeTrace(a);
   const ir::Program base = k->build();
   ir::Program tuned = base;
   std::int64_t evals = 1;
@@ -138,6 +159,7 @@ int cmdOptimize(const Args& a) {
     sc.budget = budget;
     sc.threads = std::atoi(a.get("threads", "0").c_str());
     sc.use_cache = a.get("no-cache", "0") != "1";
+    sc.telemetry = trace.get();
     const auto r = search::runSearch(base, *m, sc);
     tuned = r.best;
     evals = r.evals;
@@ -154,6 +176,7 @@ int cmdOptimize(const Args& a) {
   } else if (method == "rl") {
     rl::PerfLLMConfig rc;
     rc.episodes = budget > 0 ? budget : 60;
+    rc.telemetry = trace.get();
     const auto r = rl::optimizeKernel(base, *m, rc);
     tuned = r.best;
     evals = r.evals;
@@ -167,6 +190,71 @@ int cmdOptimize(const Args& a) {
                m->evaluate(base) / m->evaluate(tuned),
                static_cast<long long>(evals));
   return emitProgram(tuned, a.get("emit", "ir"));
+}
+
+/// The Fig. 9 manual trace, automated: replay a deterministic pass step by
+/// step, printing each transformation's cost delta and component breakdown,
+/// then a top-N "where do the cycles go" per-scope attribution of the final
+/// implementation.
+int cmdProfile(const Args& a) {
+  const auto* k = needKernel(a);
+  const auto* m = needMachine(a);
+  if (!k || !m) return 2;
+  const auto method = a.get("method", "heuristic");
+  if (method != "naive" && method != "greedy" && method != "heuristic" &&
+      method != "best") {
+    std::fprintf(stderr, "profile: unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+  const std::size_t top_n =
+      static_cast<std::size_t>(std::atoi(a.get("top", "8").c_str()));
+  const auto trace = makeTrace(a);
+  const ir::Program base = k->build();
+  const transform::History h = [&] {
+    if (method == "naive") return search::naivePass(base, *m);
+    if (method == "greedy") return search::greedyPass(base, *m);
+    if (method == "best") return search::bestPass(base, *m);
+    return search::heuristicPass(base, *m);
+  }();
+  const auto steps = search::attributeHistory(h, *m, trace.get());
+
+  std::printf("%s on %s via %s pass (%zu transformations)\n\n",
+              k->label.c_str(), m->name().c_str(), method.c_str(),
+              h.size());
+  Table t({"step", "transform", "location", "cost [s]", "delta [s]", "compute",
+           "stall", "memory", "loop", "launch"});
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const auto& s = steps[i];
+    const auto& b = s.breakdown;
+    const double delta = i == 0 ? 0.0 : s.cost - steps[i - 1].cost;
+    t.addRow({std::to_string(i), i == 0 ? "(initial)" : s.transform,
+              s.location, fmt(s.cost, 4), i == 0 ? "" : fmt(delta, 3),
+              fmt(b.compute, 3), fmt(b.pipeline_stall, 3), fmt(b.memory, 3),
+              fmt(b.loop_overhead, 3), fmt(b.launch_overhead, 3)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const auto& final_bd = steps.back().breakdown;
+  const double total = final_bd.total();
+  std::printf("where do the cycles go (final implementation, %.4g s):\n",
+              total);
+  std::vector<std::pair<std::string, double>> scopes(final_bd.by_scope.begin(),
+                                                     final_bd.by_scope.end());
+  std::sort(scopes.begin(), scopes.end(),
+            [](const auto& x, const auto& y) { return x.second > y.second; });
+  Table st({"scope", "time [s]", "share"});
+  for (std::size_t i = 0; i < scopes.size() && i < top_n; ++i) {
+    const double share = total > 0 ? scopes[i].second / total : 0.0;
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.1f%%", 100.0 * share);
+    st.addRow({scopes[i].first.empty() ? "(root/host)" : scopes[i].first,
+               fmt(scopes[i].second, 4), pct});
+  }
+  if (scopes.size() > top_n)
+    st.addRow({"... (" + std::to_string(scopes.size() - top_n) + " more)", "",
+               ""});
+  std::printf("%s", st.render().c_str());
+  return 0;
 }
 
 int cmdCompare(const Args& a) {
@@ -212,6 +300,8 @@ void printOracleReport(const char* label, const fuzz::OracleReport& r) {
 
 int cmdFuzz(const Args& a) {
   fuzz::FuzzConfig cfg;
+  const auto trace = makeTrace(a);
+  cfg.telemetry = trace.get();
   cfg.seed = std::strtoull(a.get("seed", "1").c_str(), nullptr, 10);
   cfg.budget_sec = std::atof(a.get("budget-sec", "0").c_str());
   cfg.trajectories = std::atoi(a.get("trajectories", "2").c_str());
@@ -271,6 +361,7 @@ int main(int argc, char** argv) {
     if (a.command == "list") return cmdList();
     if (a.command == "show") return cmdShow(a);
     if (a.command == "optimize") return cmdOptimize(a);
+    if (a.command == "profile") return cmdProfile(a);
     if (a.command == "compare") return cmdCompare(a);
     if (a.command == "libgen") return cmdLibgen(a);
     if (a.command == "fuzz") return cmdFuzz(a);

@@ -1,5 +1,7 @@
 // Machine models: the mechanisms of DESIGN.md's substitution table must
 // actually produce the paper's qualitative effects.
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "kernels/kernels.h"
@@ -198,6 +200,54 @@ TEST(Machines, EvaluateIsDeterministic) {
     EXPECT_GT(m->evaluate(p), 0.0);
     EXPECT_GT(m->peakTime(p), 0.0);
     EXPECT_LE(m->peakTime(p), m->evaluate(p) * 1.0001) << m->name();
+  }
+}
+
+// --- peakFraction hardening: a broken model must fail loudly ---
+
+class ConstantCostMachine final : public Machine {
+ public:
+  explicit ConstantCostMachine(double value) : value_(value) {
+    caps_ = xeon().caps();
+  }
+  const std::string& name() const override {
+    static const std::string n = "constant";
+    return n;
+  }
+  const transform::MachineCaps& caps() const override { return caps_; }
+  double evaluate(const ir::Program&) const override { return value_; }
+  CostBreakdown evaluateDetailed(const ir::Program&) const override {
+    return {};
+  }
+  double peakTime(const ir::Program&) const override { return 1.0; }
+
+ private:
+  double value_;
+  transform::MachineCaps caps_;
+};
+
+TEST(Machines, PeakFractionRejectsDegenerateCosts) {
+  const auto p = kernels::makeSoftmax(8, 8);
+  for (const double bad : {0.0, -2.0, std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    const ConstantCostMachine m(bad);
+    EXPECT_THROW((void)m.peakFraction(p), Error) << "cost=" << bad;
+  }
+  const ConstantCostMachine ok(2.0);
+  EXPECT_DOUBLE_EQ(ok.peakFraction(p), 0.5);
+}
+
+TEST(Machines, BreakdownComponentsAreNonNegativeAndSumToEvaluate) {
+  const auto p = kernels::makeMatmul(16, 16, 16);
+  for (const auto* m : {&snitch(), &xeon(), &gh200(), &mi300a()}) {
+    const auto b = m->evaluateDetailed(p);
+    EXPECT_GE(b.compute, 0.0) << m->name();
+    EXPECT_GE(b.pipeline_stall, 0.0) << m->name();
+    EXPECT_GE(b.memory, 0.0) << m->name();
+    EXPECT_GE(b.loop_overhead, 0.0) << m->name();
+    EXPECT_GE(b.launch_overhead, 0.0) << m->name();
+    const double t = m->evaluate(p);
+    EXPECT_NEAR(b.total(), t, 1e-9 * t) << m->name();
   }
 }
 

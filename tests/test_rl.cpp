@@ -1,6 +1,7 @@
 // RL stack: embedding properties, NN gradient correctness, DQN learning,
 // the Figure 6 toy MDP, and a small end-to-end PerfLLM run.
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -246,6 +247,83 @@ TEST(Env, StratifiedCandidatesCoverTransformTypes) {
   // With many applicable transform kinds, the stratified sample must keep
   // several kinds represented rather than filling up with one.
   EXPECT_GE(types.size(), 4u);
+}
+
+// --- Non-finite reward hardening (regression: reward_scale / 0 -> inf) ---
+
+/// A machine whose cost model degenerates: every program prices to the same
+/// zero or non-finite value. The reward shaping must map that to a finite
+/// (zero) reward instead of inf/NaN.
+class DegenerateMachine final : public machines::Machine {
+ public:
+  explicit DegenerateMachine(double value) : value_(value) {
+    caps_ = machines::xeon().caps();
+  }
+  const std::string& name() const override {
+    static const std::string n = "degenerate";
+    return n;
+  }
+  const transform::MachineCaps& caps() const override { return caps_; }
+  double evaluate(const ir::Program&) const override { return value_; }
+  machines::CostBreakdown evaluateDetailed(const ir::Program&) const override {
+    return {};
+  }
+  double peakTime(const ir::Program&) const override { return 1.0; }
+
+ private:
+  double value_;
+  transform::MachineCaps caps_;
+};
+
+TEST(Env, DegenerateRuntimeYieldsZeroReward) {
+  TextEmbedder e(16);
+  for (const double bad : {0.0, -1.0, std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    const DegenerateMachine m(bad);
+    for (const bool log_reward : {true, false}) {
+      EnvConfig ec;
+      ec.log_reward = log_reward;
+      ec.max_steps = 4;
+      PerfDojoEnv env(kernels::makeSoftmax(4, 8), m, e, ec);
+      EXPECT_EQ(env.shapedReward(), 0.0) << "runtime=" << bad;
+      Rng rng(1);
+      const auto cands = env.candidates(rng);
+      ASSERT_FALSE(cands.empty());
+      for (const auto& c : cands) {
+        const auto sr = env.step(c);
+        EXPECT_TRUE(std::isfinite(sr.reward)) << "runtime=" << bad;
+        env.reset();
+      }
+    }
+  }
+}
+
+TEST(Env, RewardsAreClampedToConfiguredRange) {
+  TextEmbedder e(16);
+  EnvConfig ec;
+  ec.log_reward = false;
+  ec.reward_scale = 1e30;  // would dwarf the clamp if applied raw
+  ec.reward_clamp = 5.0;
+  PerfDojoEnv env(kernels::makeSoftmax(4, 8), machines::xeon(), e, ec);
+  const double r = env.shapedReward();
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_LE(std::abs(r), 5.0);
+}
+
+TEST(PerfLLM, SurvivesDegenerateMachineEndToEnd) {
+  const DegenerateMachine m(0.0);
+  PerfLLMConfig cfg;
+  cfg.episodes = 2;
+  cfg.max_steps = 4;
+  cfg.candidate_cap = 6;
+  cfg.embedding_dim = 16;
+  cfg.seed = 11;
+  const auto r = optimizeKernel(kernels::makeSoftmax(4, 8), m, cfg);
+  EXPECT_EQ(r.episode_best.size(), 2u);
+  // All rewards were clamped to 0, so no NaN ever reached the Q targets and
+  // the run terminates normally with the evaluations it consumed accounted.
+  EXPECT_GT(r.evals, 0);
+  EXPECT_FALSE(std::isnan(r.initial_runtime));
 }
 
 }  // namespace

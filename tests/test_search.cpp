@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -176,6 +177,96 @@ TEST(Search, ExpertSuggestionIsApplicable) {
     ASSERT_TRUE(suggestExpertAction(p, machines::snitch().caps(), rng, a));
     EXPECT_NO_THROW(a.apply(p));
   }
+}
+
+// --- Non-finite cost hardening (regression: exp(-NaN) in saAccept) ---
+
+TEST(SaAccept, RejectsNonFiniteDeltaWithoutRngDraw) {
+  Rng a(42), b(42);
+  EXPECT_FALSE(saAccept(std::numeric_limits<double>::quiet_NaN(), 0.5, a));
+  EXPECT_FALSE(saAccept(std::numeric_limits<double>::infinity(), 0.5, a));
+  EXPECT_FALSE(saAccept(-std::numeric_limits<double>::quiet_NaN(), 0.5, a));
+  EXPECT_TRUE(saAccept(-1.0, 0.5, a));  // improvement: accepted, no draw
+  EXPECT_TRUE(saAccept(0.0, 0.5, a));
+  // None of the above consumed a uniform draw, so the streams still agree.
+  EXPECT_EQ(a.next(), b.next());
+  // A finite positive delta consumes exactly one draw.
+  (void)saAccept(0.1, 0.5, a);
+  (void)b.uniformReal();
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SaAccept, AcceptsSmallRegressionAtHighTempRejectsAtLowTemp) {
+  int hot = 0, cold = 0;
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    if (saAccept(0.05, 1.0, rng)) ++hot;
+    if (saAccept(0.05, 1e-6, rng)) ++cold;
+  }
+  EXPECT_GT(hot, 300);  // exp(-0.05) ~ 0.95
+  EXPECT_EQ(cold, 0);
+}
+
+/// A machine whose cost model is broken: every program prices to the same
+/// non-finite value. The search must terminate, never promote such a
+/// candidate to best, and count every rejection.
+class BrokenMachine final : public machines::Machine {
+ public:
+  explicit BrokenMachine(double value) : value_(value) {
+    caps_ = machines::xeon().caps();
+  }
+  const std::string& name() const override {
+    static const std::string n = "broken";
+    return n;
+  }
+  const transform::MachineCaps& caps() const override { return caps_; }
+  double evaluate(const ir::Program&) const override { return value_; }
+  machines::CostBreakdown evaluateDetailed(const ir::Program&) const override {
+    return {};
+  }
+  double peakTime(const ir::Program&) const override { return 1.0; }
+
+ private:
+  double value_;
+  transform::MachineCaps caps_;
+};
+
+TEST(Search, NonFiniteCostsCannotPoisonAnyMethod) {
+  const auto kernel = kernels::makeSoftmax(8, 32);
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    const BrokenMachine m(bad);
+    for (const auto method :
+         {SearchMethod::RandomSampling, SearchMethod::SimulatedAnnealing}) {
+      for (const auto structure :
+           {SpaceStructure::Edges, SpaceStructure::Heuristic}) {
+        SearchConfig sc;
+        sc.method = method;
+        sc.structure = structure;
+        sc.budget = 40;
+        sc.max_steps = 8;
+        sc.seed = 3;
+        sc.threads = 1;
+        const auto r = runSearch(kernel, m, sc);
+        // Nothing admissible was ever seen, so best stays the input program
+        // and best_runtime stays the sentinel — but the search terminated.
+        EXPECT_GT(r.stats.nonfinite_rejected, 0)
+            << searchMethodName(method) << "/" << spaceStructureName(structure);
+        EXPECT_FALSE(std::isnan(r.best_runtime));
+        for (const double v : r.trace) EXPECT_FALSE(std::isnan(v));
+      }
+    }
+  }
+}
+
+TEST(Search, FiniteMachineReportsNoNonFiniteRejections) {
+  SearchConfig sc;
+  sc.budget = 60;
+  sc.seed = 2;
+  sc.threads = 1;
+  const auto r = runSearch(kernels::makeSoftmax(8, 32), machines::xeon(), sc);
+  EXPECT_EQ(r.stats.nonfinite_rejected, 0);
+  EXPECT_TRUE(std::isfinite(r.best_runtime));
 }
 
 }  // namespace
