@@ -6,6 +6,7 @@
 #include <optional>
 #include <set>
 
+#include "ir/incremental.h"
 #include "kernels/kernels.h"
 #include "support/common.h"
 #include "support/rng.h"
@@ -46,6 +47,7 @@ OracleOptions restrictTo(const OracleOptions& opts, OracleLayer layer) {
   OracleOptions o = opts;
   o.check_interp = layer == OracleLayer::Interp;
   o.check_roundtrip = layer == OracleLayer::RoundTrip;
+  o.check_incremental = layer == OracleLayer::IncHash;
   o.check_cache = layer == OracleLayer::Cache;
   o.check_codegen = layer == OracleLayer::Codegen;
   return o;
@@ -53,15 +55,28 @@ OracleOptions restrictTo(const OracleOptions& opts, OracleLayer layer) {
 
 /// Replays `steps` and runs the oracle on the result; replay failures come
 /// back as OracleLayer::Apply. Shared by runWitness and finding finalization.
+/// The replay is incremental — each step mutates in place and feeds its
+/// MutationSummary to an IncrementalCanonical — so incremental-hash witnesses
+/// reproduce the exact maintenance path that diverged during the walk.
 OracleReport reportForSteps(const ir::Program& original,
                             const std::vector<Step>& steps,
                             const CapsProfile& prof,
                             const OracleOptions& opts) {
-  transform::History::ReplayResult rr;
-  const auto q = transform::History::replay(original, steps, rr);
-  if (!q) return applyFailure(rr.failed_step, rr.message);
+  ir::Program q = original;
+  ir::IncrementalCanonical inc;
+  inc.rebuild(q);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    ir::MutationSummary mut;
+    try {
+      steps[i].transform->applyInPlace(q, steps[i].loc, &mut);
+    } catch (const Error& e) {
+      return applyFailure(i, e.what());
+    }
+    inc.update(q, mut);
+  }
   search::EvalCache cache;
-  return checkOracle(original, *q, *prof.machine, &cache, opts);
+  const std::uint64_t h = inc.hash();
+  return checkOracle(original, q, *prof.machine, &cache, opts, &h);
 }
 
 struct TrajectoryOutcome {
@@ -78,21 +93,30 @@ TrajectoryOutcome walkOne(const ir::Program& original, const CapsProfile& prof,
   OracleOptions opts = cfg.oracle;
   opts.verify.seed = seed;
   ir::Program p = original;
+  // The walk maintains its canonical hash incrementally across steps; every
+  // oracle call cross-checks it against a full re-render (the
+  // incremental-hash layer), so an under-reporting MutationSummary anywhere
+  // in the transform library surfaces as a finding.
+  ir::IncrementalCanonical inc;
+  inc.rebuild(p);
   for (int step = 0; step < cfg.max_steps; ++step) {
     const auto actions = transform::allActions(p, prof.caps, lib);
     if (actions.empty()) break;
     const auto& a = actions[rng.uniform(actions.size())];
     out.steps.push_back({a.transform, a.loc});
     ++stats.steps;
-    ir::Program q;
+    ir::Program q = p;
+    ir::MutationSummary mut;
     try {
-      q = a.apply(p);
+      a.transform->applyInPlace(q, a.loc, &mut);
     } catch (const Error& e) {
       out.report = applyFailure(out.steps.size() - 1, e.what());
       return out;
     }
+    inc.update(q, mut);
     ++stats.oracle_checks;
-    out.report = checkOracle(original, q, *prof.machine, &cache, opts);
+    const std::uint64_t h = inc.hash();
+    out.report = checkOracle(original, q, *prof.machine, &cache, opts, &h);
     if (!out.report.ok) return out;
     p = std::move(q);
   }

@@ -17,6 +17,7 @@ const char* oracleLayerName(OracleLayer l) {
     case OracleLayer::Apply: return "apply";
     case OracleLayer::Interp: return "interp";
     case OracleLayer::RoundTrip: return "roundtrip";
+    case OracleLayer::IncHash: return "incremental-hash";
     case OracleLayer::Cache: return "cache";
     case OracleLayer::Codegen: return "codegen";
   }
@@ -128,7 +129,8 @@ OracleReport checkCodegenAgreement(const ir::Program& p,
 OracleReport checkOracle(const ir::Program& original,
                          const ir::Program& transformed,
                          const machines::Machine& machine,
-                         search::EvalCache* cache, const OracleOptions& opts) {
+                         search::EvalCache* cache, const OracleOptions& opts,
+                         const std::uint64_t* incremental_hash) {
   if (opts.check_interp) {
     const auto r = verify::verifyEquivalent(original, transformed, opts.verify);
     if (!r.equivalent) return failAt(OracleLayer::Interp, r.detail);
@@ -136,6 +138,15 @@ OracleReport checkOracle(const ir::Program& original,
   if (opts.check_roundtrip) {
     auto r = checkRoundTrip(transformed);
     if (!r.ok) return r;
+  }
+  if (opts.check_incremental && incremental_hash) {
+    const std::uint64_t full = ir::canonicalHash(transformed);
+    if (*incremental_hash != full)
+      return failAt(OracleLayer::IncHash,
+                    "incrementally maintained canonical hash " +
+                        std::to_string(*incremental_hash) +
+                        " != full re-render " + std::to_string(full) +
+                        " (a transform under-reported its mutation summary)");
   }
   if (opts.check_cache && cache) {
     std::string detail;

@@ -10,13 +10,20 @@
 //                (the paper's semantic-preservation guarantee)
 //   roundtrip  — parse(print(p)) is canonically identical to p, with stable
 //                canonical text and hash
-//   cache      — EvalCache::selfCheck: canonical-hash stability and memoized
-//                cost vs a fresh machine-model evaluation
+//   incremental-hash — a canonical hash maintained incrementally across the
+//                walk's in-place mutations (IncrementalCanonical fed by each
+//                transform's MutationSummary) agrees bit-for-bit with a full
+//                re-render; a divergence means a transform under-reports its
+//                mutation footprint and delta search would go stale
+//   cache      — EvalCache::selfCheck: full-render vs incremental-rebuild
+//                hash agreement and memoized cost vs a fresh machine-model
+//                evaluation
 //   codegen    — compiled generateC() output agrees with the interpreter on
 //                the same random inputs (expensive: invokes the system C
 //                compiler; the fuzzer runs it on trajectory endpoints)
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "ir/program.h"
@@ -26,7 +33,8 @@
 
 namespace perfdojo::fuzz {
 
-enum class OracleLayer { None, Apply, Interp, RoundTrip, Cache, Codegen };
+enum class OracleLayer { None, Apply, Interp, RoundTrip, IncHash, Cache,
+                         Codegen };
 
 const char* oracleLayerName(OracleLayer l);
 
@@ -34,6 +42,7 @@ struct OracleOptions {
   verify::VerifyOptions verify;   // interp tolerances + random-input seed
   bool check_interp = true;
   bool check_roundtrip = true;
+  bool check_incremental = true;
   bool check_cache = true;
   bool check_codegen = false;     // compiles with the system C compiler
   double codegen_rel_tol = 1e-3;  // compiled f32 arithmetic vs f64 interpreter
@@ -50,10 +59,15 @@ struct OracleReport {
 /// interp layer) and returns the first failure. `cache` may be shared across
 /// many checks — that is what lets the cache layer catch cross-program
 /// canonical-hash collisions; nullptr skips the cache layer.
+/// `incremental_hash`, if given, is a canonical hash the caller maintained
+/// incrementally across its mutations of `transformed` (e.g. the fuzz walk's
+/// IncrementalCanonical updated per step); the incremental-hash layer checks
+/// it against a full re-render. nullptr skips that layer.
 OracleReport checkOracle(const ir::Program& original,
                          const ir::Program& transformed,
                          const machines::Machine& machine,
-                         search::EvalCache* cache, const OracleOptions& opts);
+                         search::EvalCache* cache, const OracleOptions& opts,
+                         const std::uint64_t* incremental_hash = nullptr);
 
 /// The codegen layer alone (used on trajectory endpoints). Compiles
 /// generateC(p), runs it on the same random inputs as the interpreter, and

@@ -4,14 +4,27 @@
 
 #include "ir/printer.h"
 #include "support/common.h"
+#include "support/strings.h"
 
 namespace perfdojo::ir {
 
+std::string canonicalHeaderText(const Program& p) {
+  // Sort buffer *indices* by name: no Program (or even Buffer) copies.
+  std::vector<std::size_t> order(p.buffers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p.buffers[a].name < p.buffers[b].name;
+  });
+  std::string out = "kernel " + p.name + "\n";
+  for (std::size_t i : order) out += printBufferLine(p.buffers[i]);
+  if (!p.inputs.empty()) out += "in " + join(p.inputs, " ") + "\n";
+  if (!p.outputs.empty()) out += "out " + join(p.outputs, " ") + "\n";
+  out += "\n";
+  return out;
+}
+
 std::string canonicalText(const Program& p) {
-  Program q = p;  // value copy; ids preserved but they don't appear in text
-  std::sort(q.buffers.begin(), q.buffers.end(),
-            [](const Buffer& a, const Buffer& b) { return a.name < b.name; });
-  return printProgram(q);
+  return canonicalHeaderText(p) + printTree(p);
 }
 
 std::uint64_t canonicalHash(const Program& p) { return fnv1a(canonicalText(p)); }

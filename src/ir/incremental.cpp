@@ -1,0 +1,145 @@
+#include "ir/incremental.h"
+
+#include <algorithm>
+
+#include "ir/canonical.h"
+#include "ir/printer.h"
+#include "ir/walk.h"
+#include "support/common.h"
+
+namespace perfdojo::ir {
+
+namespace {
+
+bool containsId(const std::vector<NodeId>& ids, NodeId id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+}  // namespace
+
+void IncrementalCanonical::walk(const Node& n, int depth,
+                                std::vector<NodeId>& chain, bool dirty,
+                                const std::vector<NodeId>& dirty_roots,
+                                std::unordered_map<NodeId, std::string>& fresh,
+                                std::uint64_t& h) {
+  dirty = dirty || containsId(dirty_roots, n.id);
+  std::string line;
+  if (!dirty) {
+    auto it = lines_.find(n.id);
+    if (it != lines_.end()) line = std::move(it->second);
+  }
+  // A clean node missing from the cache (it can only have been created by
+  // the mutation, outside any reported subtree) is rendered fresh — the
+  // cache is purely an optimization, so a miss is never wrong.
+  if (line.empty()) line = printNodeLine(n, depth, chain);
+  h = fnv1a(line.data(), line.size(), h);
+  if (n.isScope()) {
+    chain.push_back(n.id);
+    for (const auto& c : n.children)
+      walk(c, depth + 1, chain, dirty, dirty_roots, fresh, h);
+    chain.pop_back();
+  }
+  fresh.emplace(n.id, std::move(line));
+}
+
+void IncrementalCanonical::rebuild(const Program& p) {
+  header_ = canonicalHeaderText(p);
+  lines_.clear();
+  std::unordered_map<NodeId, std::string> fresh;
+  fresh.reserve(nodeCount(p.root));
+  std::uint64_t h = fnv1a(header_.data(), header_.size());
+  std::vector<NodeId> chain;
+  const std::vector<NodeId> no_roots;
+  for (const auto& c : p.root.children)
+    walk(c, 0, chain, /*dirty=*/true, no_roots, fresh, h);
+  lines_ = std::move(fresh);
+  hash_ = h;
+  bound_ = true;
+}
+
+void IncrementalCanonical::update(const Program& p, const MutationSummary& mut) {
+  if (!bound_ || mut.whole_tree) {
+    rebuild(p);
+    return;
+  }
+  if (mut.buffers_changed) header_ = canonicalHeaderText(p);
+  std::unordered_map<NodeId, std::string> fresh;
+  fresh.reserve(lines_.size() + mut.dirty_scopes.size() * 4);
+  std::uint64_t h = fnv1a(header_.data(), header_.size());
+  std::vector<NodeId> chain;
+  // Reporting the root container's id dirties the whole tree (the root has
+  // no line of its own).
+  const bool root_dirty = containsId(mut.dirty_scopes, p.root.id);
+  for (const auto& c : p.root.children)
+    walk(c, 0, chain, root_dirty, mut.dirty_scopes, fresh, h);
+  lines_ = std::move(fresh);
+  hash_ = h;
+}
+
+void IncrementalCanonical::probeWalk(const Node& n, int depth,
+                                     std::vector<NodeId>& chain, bool dirty,
+                                     const std::vector<NodeId>& dirty_roots,
+                                     std::uint64_t& h) const {
+  dirty = dirty || containsId(dirty_roots, n.id);
+  if (!dirty) {
+    auto it = lines_.find(n.id);
+    if (it != lines_.end()) {
+      h = fnv1a(it->second.data(), it->second.size(), h);
+    } else {
+      const std::string line = printNodeLine(n, depth, chain);
+      h = fnv1a(line.data(), line.size(), h);
+    }
+  } else {
+    const std::string line = printNodeLine(n, depth, chain);
+    h = fnv1a(line.data(), line.size(), h);
+  }
+  if (n.isScope()) {
+    chain.push_back(n.id);
+    for (const auto& c : n.children)
+      probeWalk(c, depth + 1, chain, dirty, dirty_roots, h);
+    chain.pop_back();
+  }
+}
+
+std::uint64_t IncrementalCanonical::probe(const Program& p,
+                                          const MutationSummary& mut) const {
+  if (!bound_ || mut.whole_tree) {
+    const std::string text = canonicalText(p);
+    return fnv1a(text.data(), text.size());
+  }
+  std::uint64_t h;
+  if (mut.buffers_changed) {
+    const std::string header = canonicalHeaderText(p);
+    h = fnv1a(header.data(), header.size());
+  } else {
+    h = fnv1a(header_.data(), header_.size());
+  }
+  std::vector<NodeId> chain;
+  const bool root_dirty = containsId(mut.dirty_scopes, p.root.id);
+  for (const auto& c : p.root.children)
+    probeWalk(c, 0, chain, root_dirty, mut.dirty_scopes, h);
+  return h;
+}
+
+std::string IncrementalCanonical::text(const Program& p) const {
+  require(bound_, "IncrementalCanonical::text: not bound to a program");
+  std::string out = header_;
+  std::vector<const Node*> stack;
+  for (auto it = p.root.children.rbegin(); it != p.root.children.rend(); ++it)
+    stack.push_back(&*it);
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    auto itl = lines_.find(n->id);
+    require(itl != lines_.end(),
+            "IncrementalCanonical::text: node " + std::to_string(n->id) +
+                " has no cached line");
+    out += itl->second;
+    if (n->isScope())
+      for (auto it = n->children.rbegin(); it != n->children.rend(); ++it)
+        stack.push_back(&*it);
+  }
+  return out;
+}
+
+}  // namespace perfdojo::ir

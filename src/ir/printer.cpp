@@ -92,21 +92,26 @@ std::string operandStr(const Operand& in, const std::vector<NodeId>& chain) {
 
 void printNode(const Node& n, int depth, std::vector<NodeId>& chain,
                std::string& out) {
-  std::string prefix;
-  for (int i = 0; i < depth; ++i) prefix += "| ";
+  out += printNodeLine(n, depth, chain);
   if (n.isScope()) {
-    out += prefix + std::to_string(n.extent) + loopAnnoSuffix(n.anno) + "\n";
     chain.push_back(n.id);
     for (const auto& c : n.children) printNode(c, depth + 1, chain, out);
     chain.pop_back();
-  } else {
-    out += prefix + accessStr(n.out, chain) + " = " + opName(n.op);
-    for (const auto& in : n.ins) out += " " + operandStr(in, chain);
-    out += "\n";
   }
 }
 
 }  // namespace
+
+std::string printNodeLine(const Node& n, int depth,
+                          const std::vector<NodeId>& chain) {
+  std::string prefix;
+  for (int i = 0; i < depth; ++i) prefix += "| ";
+  if (n.isScope())
+    return prefix + std::to_string(n.extent) + loopAnnoSuffix(n.anno) + "\n";
+  std::string out = prefix + accessStr(n.out, chain) + " = " + opName(n.op);
+  for (const auto& in : n.ins) out += " " + operandStr(in, chain);
+  return out + "\n";
+}
 
 std::string printIndexExpr(const IndexExpr& e, const std::vector<NodeId>& chain) {
   return exprStr(e, chain);
@@ -120,21 +125,23 @@ std::string printTree(const Program& p) {
   return out;
 }
 
+std::string printBufferLine(const Buffer& b) {
+  std::string out = "buffer " + b.name + " " + dtypeName(b.dtype) + " [";
+  for (std::size_t i = 0; i < b.shape.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(b.shape[i]);
+    if (!b.materialized[i]) out += ":N";
+  }
+  out += "] " + std::string(memSpaceName(b.space));
+  if (b.arrays.size() != 1 || b.arrays[0] != b.name) {
+    out += " -> " + join(b.arrays, ", ");
+  }
+  return out + "\n";
+}
+
 std::string printProgram(const Program& p) {
   std::string out = "kernel " + p.name + "\n";
-  for (const auto& b : p.buffers) {
-    out += "buffer " + b.name + " " + dtypeName(b.dtype) + " [";
-    for (std::size_t i = 0; i < b.shape.size(); ++i) {
-      if (i) out += ", ";
-      out += std::to_string(b.shape[i]);
-      if (!b.materialized[i]) out += ":N";
-    }
-    out += "] " + std::string(memSpaceName(b.space));
-    if (b.arrays.size() != 1 || b.arrays[0] != b.name) {
-      out += " -> " + join(b.arrays, ", ");
-    }
-    out += "\n";
-  }
+  for (const auto& b : p.buffers) out += printBufferLine(b);
   if (!p.inputs.empty()) out += "in " + join(p.inputs, " ") + "\n";
   if (!p.outputs.empty()) out += "out " + join(p.outputs, " ") + "\n";
   out += "\n";

@@ -31,4 +31,15 @@ std::string printTree(const Program& p);
 /// enclosing scope ids, outermost first).
 std::string printIndexExpr(const IndexExpr& e, const std::vector<NodeId>& chain);
 
+/// One node's own line, newline-terminated, with `chain` = the ids of the
+/// scopes enclosing `n` (outermost first, excluding `n` itself). printTree is
+/// exactly the pre-order concatenation of these lines; the incremental
+/// canonical hasher relies on that byte identity when reusing cached lines.
+std::string printNodeLine(const Node& n, int depth,
+                          const std::vector<NodeId>& chain);
+
+/// One buffer declaration line, newline-terminated, exactly as printProgram
+/// renders it.
+std::string printBufferLine(const Buffer& b);
+
 }  // namespace perfdojo::ir

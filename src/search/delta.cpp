@@ -1,0 +1,61 @@
+#include "search/delta.h"
+
+#include "ir/walk.h"
+#include "support/common.h"
+
+namespace perfdojo::search {
+
+void DeltaContext::bind(const ir::Program& base) {
+  base_ = base;
+  scratch_ = base_;
+  inc_.rebuild(scratch_);
+  base_hash_ = inc_.hash();
+  bound_ = true;
+}
+
+std::uint64_t DeltaContext::neighborHash(const transform::Action& a) {
+  require(bound_, "DeltaContext: bind() a base program first");
+  ++stats_.neighbors_hashed;
+  ir::MutationSummary mut;
+  try {
+    // validate=false: the scratch program is undone immediately and never
+    // escapes, and the action came from findApplicable on this very base.
+    a.transform->applyInPlace(scratch_, a.loc, &mut, /*validate=*/false);
+  } catch (...) {
+    // A throwing apply may leave scratch_ partially mutated; resynchronize
+    // before propagating so the context stays usable. inc_ was never
+    // touched, so it still renders the base.
+    scratch_ = base_;
+    throw;
+  }
+  if (mut.whole_tree) ++stats_.whole_tree_fallbacks;
+  // probe() hashes the mutated scratch against the cached base lines without
+  // committing anything, so the undo only has to restore the tree — inc_
+  // keeps describing the base throughout.
+  const std::uint64_t h = inc_.probe(scratch_, mut);
+  undo(mut);
+  return h;
+}
+
+void DeltaContext::undo(const ir::MutationSummary& mut) {
+  if (mut.whole_tree) {
+    scratch_ = base_;
+    return;
+  }
+  if (mut.buffers_changed) scratch_.buffers = base_.buffers;
+  scratch_.next_id = base_.next_id;  // freshId() may have advanced it
+  for (ir::NodeId id : mut.dirty_scopes) {
+    if (id == scratch_.root.id) {
+      scratch_.root = base_.root;
+      continue;
+    }
+    ir::Node* dst = ir::findNode(scratch_.root, id);
+    const ir::Node* src = ir::findNode(base_.root, id);
+    require(dst != nullptr && src != nullptr,
+            "DeltaContext: dirty subtree " + std::to_string(id) +
+                " missing during undo (bad mutation report)");
+    *dst = *src;
+  }
+}
+
+}  // namespace perfdojo::search

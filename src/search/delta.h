@@ -1,0 +1,67 @@
+// Delta-aware candidate generation: neighbors of a base program are treated
+// as (base, action) pairs. neighborHash() prices the pair's identity — the
+// canonical hash the memo table keys on — by mutating a scratch copy in
+// place, probing an incrementally maintained canonical form of the base
+// (cached lines serve the clean regions, dirty regions render on the fly),
+// and undoing the mutation by restoring only the reported-dirty subtrees.
+// The full validated tree copy (materialize) is deferred until a candidate
+// actually wins: is accepted by annealing, enqueued by the graph expansion,
+// or needs a machine-model evaluation on a cache miss.
+//
+// Hashes are bit-identical to ir::canonicalHash(action.apply(base)) — the
+// property suite and the fuzzer's incremental-hash layer enforce this — so
+// a delta-hashed search makes exactly the decisions of a copy-based one.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/incremental.h"
+#include "ir/program.h"
+#include "transform/transform.h"
+
+namespace perfdojo::search {
+
+struct DeltaStats {
+  std::int64_t neighbors_hashed = 0;
+  /// Neighbors whose transform reported conservatively (whole-program
+  /// re-render on both the forward and the undo update).
+  std::int64_t whole_tree_fallbacks = 0;
+};
+
+class DeltaContext {
+ public:
+  DeltaContext() = default;
+
+  /// Fixes the base program; copies it twice (base + scratch) and renders
+  /// its canonical form once. Amortized over every neighbor hashed from it.
+  void bind(const ir::Program& base);
+
+  bool bound() const { return bound_; }
+  const ir::Program& base() const { return base_; }
+  std::uint64_t baseHash() const { return base_hash_; }
+
+  /// Canonical hash of a.apply(base()) without performing the copy or the
+  /// validation: apply in place on the scratch tree, probe the base's
+  /// incremental canonical form (read-only), undo. Throws (and
+  /// resynchronizes the scratch state) if the action does not apply.
+  std::uint64_t neighborHash(const transform::Action& a);
+
+  /// The full validated program for a winning candidate.
+  ir::Program materialize(const transform::Action& a) const {
+    return a.apply(base_);
+  }
+
+  const DeltaStats& stats() const { return stats_; }
+
+ private:
+  void undo(const ir::MutationSummary& mut);
+
+  ir::Program base_;
+  ir::Program scratch_;
+  ir::IncrementalCanonical inc_;
+  std::uint64_t base_hash_ = 0;
+  bool bound_ = false;
+  DeltaStats stats_;
+};
+
+}  // namespace perfdojo::search

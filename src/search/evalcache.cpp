@@ -1,6 +1,7 @@
 #include "search/evalcache.h"
 
 #include "ir/canonical.h"
+#include "ir/incremental.h"
 #include "support/common.h"
 
 namespace perfdojo::search {
@@ -55,16 +56,27 @@ void EvalCache::insert(const machines::Machine& m, std::uint64_t canonical_hash,
 }
 
 bool EvalCache::selfCheck(const machines::Machine& m, const ir::Program& p,
-                          std::string* detail) {
+                          std::string* detail,
+                          const std::uint64_t* maintained_hash) {
   auto report = [&](const std::string& msg) {
     if (detail) *detail = msg;
     return false;
   };
   const std::uint64_t h1 = ir::canonicalHash(p);
-  const std::uint64_t h2 = ir::canonicalHash(p);
+  // Recompute through the *other* implementation: a from-scratch incremental
+  // rebuild must agree byte-for-byte with the monolithic render. (The old
+  // check hashed the same way twice and could only ever agree with itself.)
+  ir::IncrementalCanonical inc;
+  inc.rebuild(p);
+  const std::uint64_t h2 = inc.hash();
   if (h1 != h2)
-    return report("canonical hash unstable across re-hashing: " +
-                  std::to_string(h1) + " vs " + std::to_string(h2));
+    return report("canonical hash diverges between full render and "
+                  "incremental rebuild: " + std::to_string(h1) + " vs " +
+                  std::to_string(h2));
+  if (maintained_hash && *maintained_hash != h1)
+    return report("incrementally maintained hash " +
+                  std::to_string(*maintained_hash) +
+                  " is stale: full re-render gives " + std::to_string(h1));
   const double fresh = m.evaluate(p);
   double cached = 0;
   if (lookup(m, h1, cached) && cached != fresh)

@@ -50,15 +50,20 @@ class EvalCache {
               double cost);
 
   /// Differential-testing hook (the fuzzer's cache-consistency oracle layer):
-  /// re-hashes `p`, checks the canonical hash is stable, and checks that any
-  /// memoized cost for it matches a fresh machine-model evaluation — a
-  /// divergence means either a canonical-hash collision between programs with
-  /// different costs or a non-pure machine model, both of which silently
-  /// corrupt every search method built on this table. Inserts the fresh cost
-  /// on success so subsequent probes hit. Uncounted (like lookup/insert).
-  /// Returns false and fills `detail` on inconsistency.
+  /// hashes `p` through both canonical-hash implementations — the monolithic
+  /// full-text render and a from-scratch incremental rebuild — and checks
+  /// they agree bit-for-bit; checks that any memoized cost for it matches a
+  /// fresh machine-model evaluation. A divergence means a hash-implementation
+  /// split, a canonical-hash collision between programs with different costs,
+  /// or a non-pure machine model — all of which silently corrupt every search
+  /// method built on this table. If `maintained_hash` is given (a hash a
+  /// caller carried incrementally across mutations), it must also match the
+  /// full re-render. Inserts the fresh cost on success so subsequent probes
+  /// hit. Uncounted (like lookup/insert). Returns false and fills `detail`
+  /// on inconsistency.
   bool selfCheck(const machines::Machine& m, const ir::Program& p,
-                 std::string* detail = nullptr);
+                 std::string* detail = nullptr,
+                 const std::uint64_t* maintained_hash = nullptr);
 
   EvalCacheStats stats() const;
   std::size_t size() const;

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "ir/canonical.h"
+#include "search/delta.h"
 #include "search/evalcache.h"
 #include "search/parallel_eval.h"
 #include "support/common.h"
@@ -31,12 +32,14 @@ TransformationGraph::TransformationGraph(const ir::Program& root,
                                          const machines::Machine& m,
                                          int max_depth, std::size_t max_nodes,
                                          EvalCache* cache,
-                                         ParallelEvaluator* pool) {
+                                         ParallelEvaluator* pool,
+                                         bool use_delta) {
   root_hash_ = ir::canonicalHash(root);
   nodes_[root_hash_] = {root_hash_, root,
                         nodeCost(m, cache, root_hash_, root), 0};
   std::deque<std::uint64_t> frontier;
   if (max_depth > 0) frontier.push_back(root_hash_);
+  DeltaContext delta;
   while (!frontier.empty() && nodes_.size() < max_nodes) {
     const std::uint64_t h = frontier.front();
     frontier.pop_front();
@@ -46,35 +49,63 @@ TransformationGraph::TransformationGraph(const ir::Program& root,
     const ir::Program p = n.program;
     const auto actions = transform::allActions(p, m.caps());
 
-    // Phase 1: apply + canonical-hash every action of this node. Applies
-    // are pure (value-semantic programs), so they run concurrently.
+    // Phase 1: identify every child by canonical hash + edge label. The
+    // delta path hashes each action in place against `p` (no tree copies;
+    // DeltaContext is inherently serial); the copy path applies + hashes
+    // concurrently (applies are pure, value-semantic).
     std::vector<Candidate> cands(actions.size());
-    auto expand = [&](std::size_t i) {
-      cands[i].program = actions[i].apply(p);
-      cands[i].hash = ir::canonicalHash(cands[i].program);
-      cands[i].label = actions[i].describe(p);
-    };
-    if (pool)
-      pool->forEach(cands.size(), expand);
-    else
-      for (std::size_t i = 0; i < cands.size(); ++i) expand(i);
+    if (use_delta) {
+      delta.bind(p);
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        cands[i].hash = delta.neighborHash(actions[i]);
+        cands[i].label = actions[i].describe(p);
+      }
+    } else {
+      auto expand = [&](std::size_t i) {
+        cands[i].program = actions[i].apply(p);
+        cands[i].hash = ir::canonicalHash(cands[i].program);
+        cands[i].label = actions[i].describe(p);
+      };
+      if (pool)
+        pool->forEach(cands.size(), expand);
+      else
+        for (std::size_t i = 0; i < cands.size(); ++i) expand(i);
+    }
 
     // Phase 2 (serial, in action order): record edges, deduplicate by
-    // canonical hash BEFORE any evaluation, insert new nodes, and enqueue
-    // only nodes that are strictly inside the depth limit.
+    // canonical hash BEFORE any evaluation (or, on the delta path, any
+    // materialization), insert new nodes, and enqueue only nodes that are
+    // strictly inside the depth limit.
     std::vector<std::uint64_t> fresh;
-    for (auto& c : cands) {
+    std::vector<std::size_t> fresh_action;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      Candidate& c = cands[i];
       if (nodes_.size() >= max_nodes) break;
       edges_.push_back({h, c.hash, c.label});
       if (nodes_.count(c.hash)) continue;  // reached earlier by another path
       GraphNode node;
       node.hash = c.hash;
-      node.program = std::move(c.program);
+      node.program = std::move(c.program);  // empty placeholder under delta
       node.depth = depth + 1;
       parent_[c.hash] = {h, c.label};
       if (node.depth < max_depth) frontier.push_back(c.hash);
       nodes_[c.hash] = std::move(node);
       fresh.push_back(c.hash);
+      fresh_action.push_back(i);
+    }
+
+    // Phase 2b (delta only): materialize the deduplicated fresh nodes,
+    // concurrently when possible — duplicate-hash candidates were never
+    // copied at all. The map is not resized, so each worker fills a
+    // distinct entry.
+    if (use_delta) {
+      auto materialize = [&](std::size_t i) {
+        nodes_.at(fresh[i]).program = actions[fresh_action[i]].apply(p);
+      };
+      if (pool)
+        pool->forEach(fresh.size(), materialize);
+      else
+        for (std::size_t i = 0; i < fresh.size(); ++i) materialize(i);
     }
 
     // Phase 3: price the unique new nodes, concurrently when possible. The

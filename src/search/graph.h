@@ -38,12 +38,16 @@ class TransformationGraph {
   ///
   /// An optional EvalCache shares costs with other consumers (a search run,
   /// a Dojo session); an optional ParallelEvaluator prices each expansion
-  /// level's unique new nodes concurrently. Both are purely accelerative:
-  /// the resulting graph is identical with or without them.
+  /// level's unique new nodes concurrently. With `use_delta`, children are
+  /// identified by incremental (in-place) canonical hashing and only the
+  /// deduplicated fresh nodes are ever materialized into tree copies. All
+  /// three knobs are purely accelerative: the resulting graph is identical
+  /// with or without them.
   TransformationGraph(const ir::Program& root, const machines::Machine& m,
                       int max_depth, std::size_t max_nodes,
                       EvalCache* cache = nullptr,
-                      ParallelEvaluator* pool = nullptr);
+                      ParallelEvaluator* pool = nullptr,
+                      bool use_delta = true);
 
   std::size_t nodeCount() const { return nodes_.size(); }
   std::size_t edgeCount() const { return edges_.size(); }

@@ -484,7 +484,10 @@ std::vector<StepAttribution> attributeHistory(const transform::History& h,
 
 History bestPass(ir::Program p, const machines::Machine& m, EvalCache* cache) {
   auto cost = [&](const History& h) {
-    return cache ? cache->evaluate(m, h.current()) : m.evaluate(h.current());
+    // History maintains its canonical hash incrementally across pushes, so a
+    // cached lookup here costs a table probe, not a full-tree re-render.
+    return cache ? cache->evaluateHashed(m, h.currentHash(), h.current())
+                 : m.evaluate(h.current());
   };
   History best = naivePass(p, m);
   double best_cost = cost(best);

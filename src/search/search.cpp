@@ -10,6 +10,7 @@
 
 #include "ir/canonical.h"
 #include "ir/walk.h"
+#include "search/delta.h"
 #include "search/evalcache.h"
 #include "search/parallel_eval.h"
 #include "search/pass.h"
@@ -135,6 +136,28 @@ class Eval {
       for (std::size_t i = 0; i < programs.size(); ++i)
         out[i] = cost(programs[i]);
     }
+  }
+
+  /// Memoized cost for a candidate known only by its canonical hash (the
+  /// delta path): the program is materialized via `make` only on a memo
+  /// miss, and handed back through `prog` so the caller can reuse it.
+  /// Counter effects are identical to cost() on the materialized program,
+  /// so SearchStats and the search_end telemetry cannot tell the paths
+  /// apart. Callers must ensure memoizing().
+  double costHashed(std::uint64_t h, std::optional<ir::Program>& prog,
+                    const std::function<ir::Program()>& make) {
+    ++requested_;
+    noteUnique(h);
+    double v;
+    if (cache_->lookup(m_, h, v)) {
+      ++hits_;
+      return v;
+    }
+    prog.emplace(make());
+    v = m_.evaluate(*prog);
+    ++machine_evals_;
+    cache_->insert(m_, h, v);
+    return v;
   }
 
   /// An evaluation served from a per-state memo without re-hashing: still a
@@ -341,6 +364,14 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
   std::vector<Action> actions = transform::allActions(cur, m.caps());
   std::vector<double> action_cost;
   action_cost.assign(actions.size(), kPendingRuntime);
+  // Delta path: with the memo table available, fresh neighbors are hashed
+  // incrementally against the accepted state and materialized into a full
+  // tree copy only on a memo miss or an accepted move. The hash is
+  // bit-identical to canonicalHash(apply(cur)), so the decision sequence,
+  // counters and telemetry match the copy-based path exactly.
+  const bool use_delta = cfg.use_delta && ev.memoizing();
+  DeltaContext dctx;
+  if (use_delta) dctx.bind(cur);
   while (!tr.exhausted()) {
     if (actions.empty() || steps >= cfg.max_steps) {
       cur = kernel;  // restart from the source program
@@ -348,6 +379,7 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
       steps = 0;
       actions = transform::allActions(cur, m.caps());
       action_cost.assign(actions.size(), kPendingRuntime);
+      if (use_delta) dctx.bind(cur);
       if (actions.empty()) break;  // nothing applicable at the root: done
       continue;
     }
@@ -362,6 +394,17 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
       rt = action_cost[ai];
       ev.countMemoHit();
       tr.record(rt, [&] { return actions[ai].apply(cur); });
+    } else if (use_delta) {
+      const std::uint64_t h = dctx.neighborHash(actions[ai]);
+      rt = ev.costHashed(h, cand,
+                         [&] { return dctx.materialize(actions[ai]); });
+      action_cost[ai] = rt;
+      if (cand)
+        tr.record(*cand, rt);
+      else
+        // Memo hit (possibly via a cache shared with other runs): let the
+        // tracker materialize lazily iff the candidate improves the best.
+        tr.record(rt, [&] { return actions[ai].apply(cur); });
     } else {
       cand = actions[ai].apply(cur);
       rt = ev.cost(*cand);
@@ -387,6 +430,7 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
       ++steps;
       actions = transform::allActions(cur, m.caps());
       action_cost.assign(actions.size(), kPendingRuntime);
+      if (use_delta) dctx.bind(cur);
     }
     temp *= cfg.sa_decay;  // decays once per recorded evaluation
   }

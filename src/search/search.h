@@ -47,6 +47,13 @@ struct SearchConfig {
   /// Memoize evaluations by canonical program hash. Costs are deterministic,
   /// so this changes wall-clock and raw machine-eval counts, never results.
   bool use_cache = true;
+  /// Delta candidate generation for the edges-structure annealing walk:
+  /// neighbors are hashed incrementally as (state, action) pairs and only
+  /// materialized into a full tree copy when the memo table misses or the
+  /// move is accepted. Requires memoization to pay off, so it is inert when
+  /// the run has no cache. Hashes are bit-identical to the copy-based path,
+  /// so results, visit order and telemetry traces do not depend on this.
+  bool use_delta = true;
   /// Optional JSONL event sink (nullptr = off). Per-evaluation and per-SA-step
   /// events are emitted from the search decision thread only, so for a given
   /// seed the trace is bit-identical at any `threads` setting.

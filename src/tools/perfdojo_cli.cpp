@@ -72,6 +72,7 @@ int usage() {
                "  --budget <n>        search evaluations / rl episodes\n"
                "  --threads <n>       evaluation worker threads (0 = all cores)\n"
                "  --no-cache <0|1>    1 disables evaluation memoization\n"
+               "  --no-delta <0|1>    1 disables incremental (delta) candidate hashing\n"
                "  --emit <fmt>        ir | c | cuda\n"
                "  --out <dir>         libgen / fuzz-witness output directory\n"
                "  --trace-out <file>  append JSONL telemetry events to <file>\n"
@@ -159,6 +160,7 @@ int cmdOptimize(const Args& a) {
     sc.budget = budget;
     sc.threads = std::atoi(a.get("threads", "0").c_str());
     sc.use_cache = a.get("no-cache", "0") != "1";
+    sc.use_delta = a.get("no-delta", "0") != "1";
     sc.telemetry = trace.get();
     const auto r = search::runSearch(base, *m, sc);
     tuned = r.best;

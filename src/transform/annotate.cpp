@@ -57,6 +57,8 @@ bool containsAnno(const Node& n, std::initializer_list<LoopAnno> annos) {
 class SetAnnoBase : public CheckedTransform {
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
+    // Only the scope's own line (the anno suffix) changes.
+    reportDirtySubtree(loc.node);
     ir::findNode(q.root, loc.node)->anno = target();
   }
   virtual LoopAnno target() const = 0;

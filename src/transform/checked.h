@@ -1,23 +1,108 @@
 // Internal scaffolding for transformation implementations: apply() always
 // revalidates through isApplicable(), so stale or forged Locations can never
 // yield a semantically different program.
+//
+// Mutation reporting: while applyChecked runs, a thread-local capture (set up
+// by applyInPlace) collects what the transform declares about its footprint —
+// reportDirtySubtree() / reportBuffersChanged() / reportWholeTree(). A
+// transform that reports nothing gets a conservative whole-program summary,
+// which is always correct (the incremental hasher then re-renders
+// everything). The reporting contract is in ir::MutationSummary; the
+// property tests and the fuzzer's incremental-hash oracle layer enforce that
+// every report is adequate.
 #pragma once
 
+#include "ir/incremental.h"
 #include "ir/program.h"
 #include "support/common.h"
 #include "transform/transform.h"
 
 namespace perfdojo::transform {
 
+namespace detail {
+
+struct ReportCapture {
+  ir::MutationSummary* out = nullptr;
+  bool any = false;  // did the transform report at all?
+};
+
+// Thread-local because transforms are shared singletons called concurrently
+// from ParallelEvaluator workers.
+inline thread_local ReportCapture* tl_report = nullptr;
+
+/// RAII frame installing a capture target for the duration of one
+/// applyChecked call. A null `out` (plain apply path) leaves the helpers as
+/// no-ops. If the transform never reported, the summary falls back to
+/// conservative on scope exit.
+class ReportScope {
+ public:
+  explicit ReportScope(ir::MutationSummary* out) {
+    if (!out) return;
+    *out = ir::MutationSummary::none();
+    cap_.out = out;
+    prev_ = tl_report;
+    tl_report = &cap_;
+  }
+  ~ReportScope() {
+    if (!cap_.out) return;
+    if (!cap_.any) *cap_.out = ir::MutationSummary::conservative();
+    tl_report = prev_;
+  }
+  ReportScope(const ReportScope&) = delete;
+  ReportScope& operator=(const ReportScope&) = delete;
+
+ private:
+  ReportCapture cap_;
+  ReportCapture* prev_ = nullptr;
+};
+
+}  // namespace detail
+
+/// Declares that every canonical-text change of this mutation lies inside
+/// the subtree rooted at `id` (which must exist, with an unchanged ancestor
+/// chain, both before and after the mutation).
+inline void reportDirtySubtree(ir::NodeId id) {
+  if (detail::ReportCapture* r = detail::tl_report) {
+    r->any = true;
+    r->out->dirty_scopes.push_back(id);
+  }
+}
+
+/// Declares that the program header (buffer declarations) changed; the tree
+/// dirt, if any, is still reported via reportDirtySubtree.
+inline void reportBuffersChanged() {
+  if (detail::ReportCapture* r = detail::tl_report) {
+    r->any = true;
+    r->out->buffers_changed = true;
+  }
+}
+
+/// Explicit conservative report for transforms that rewrite accesses across
+/// the whole tree (e.g. reorder_dims).
+inline void reportWholeTree() {
+  if (detail::ReportCapture* r = detail::tl_report) {
+    r->any = true;
+    r->out->whole_tree = true;
+    r->out->buffers_changed = true;
+  }
+}
+
 class CheckedTransform : public Transform {
  public:
   ir::Program apply(const ir::Program& p, const Location& loc) const final {
-    require(isApplicable(p, loc),
-            name() + ": location not applicable to this program");
     ir::Program q = p;
-    applyChecked(q, loc);
-    q.validate();
+    applyInPlace(q, loc, nullptr, /*validate=*/true);
     return q;
+  }
+
+  void applyInPlace(ir::Program& q, const Location& loc,
+                    ir::MutationSummary* mut,
+                    bool validate = true) const final {
+    require(isApplicable(q, loc),
+            name() + ": location not applicable to this program");
+    detail::ReportScope scope(mut);
+    applyChecked(q, loc);
+    if (validate) q.validate();
   }
 
   /// Semantic + structural legality of applying at `loc` (capability gating,

@@ -5,10 +5,16 @@
 namespace perfdojo::transform {
 
 History::History(ir::Program original)
-    : original_(original), current_(std::move(original)) {}
+    : original_(original), current_(std::move(original)) {
+  inc_.rebuild(current_);
+}
 
 void History::push(const Action& a) {
-  current_ = a.apply(current_);
+  ir::MutationSummary mut;
+  ir::Program next = current_;
+  a.transform->applyInPlace(next, a.loc, &mut, /*validate=*/true);
+  current_ = std::move(next);
+  inc_.update(current_, mut);
   steps_.push_back({a.transform, a.loc});
 }
 
@@ -19,6 +25,7 @@ void History::undo() {
   auto p = replay(original_, prefix, r);
   require(p.has_value(), "History::undo: prefix replay failed: " + r.message);
   current_ = std::move(*p);
+  inc_.rebuild(current_);
   steps_ = std::move(prefix);
 }
 
@@ -45,6 +52,7 @@ History::ReplayResult History::tryAdopt(std::vector<Step> steps) {
   auto p = replay(original_, steps, r);
   if (!p) return r;
   current_ = std::move(*p);
+  inc_.rebuild(current_);
   steps_ = std::move(steps);
   return r;
 }

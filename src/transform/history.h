@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/incremental.h"
 #include "ir/program.h"
 #include "transform/transform.h"
 
@@ -28,6 +29,12 @@ class History {
   const ir::Program& current() const { return current_; }
   const std::vector<Step>& steps() const { return steps_; }
   std::size_t size() const { return steps_.size(); }
+
+  /// ir::canonicalHash(current()), maintained incrementally: push() updates
+  /// it from the applied transform's mutation summary instead of re-rendering
+  /// the whole program (sequence edits rebuild). The deterministic passes and
+  /// the memoized evaluation layer key on this value.
+  std::uint64_t currentHash() const { return inc_.hash(); }
 
   /// Applies an action and records it. Throws if inapplicable.
   void push(const Action& a);
@@ -65,6 +72,7 @@ class History {
   ir::Program original_;
   ir::Program current_;
   std::vector<Step> steps_;
+  ir::IncrementalCanonical inc_;  // canonical form of current_
 };
 
 }  // namespace perfdojo::transform

@@ -60,6 +60,8 @@ class SplitScope final : public CheckedTransform {
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
     Node* s = ir::findNode(q.root, loc.node);
+    // `s` keeps its id and stays in place: all text changes are inside it.
+    reportDirtySubtree(s->id);
     const std::int64_t f = loc.param;
     const NodeId inner_id = q.freshId();
     // iter(s) -> iter(s) * f + iter(inner); the node `s` keeps its id and
@@ -103,6 +105,9 @@ class CollapseScopes final : public CheckedTransform {
 
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
+    // The collapsed scope changes its own id, so the stable dirty root is
+    // its parent (the root container when collapsing a top-level nest).
+    reportDirtySubtree(ir::findParent(q.root, loc.node)->id);
     Node* outer = ir::findNode(q.root, loc.node);
     Node inner = std::move(outer->children[0]);
     const std::int64_t ni = inner.extent;
@@ -149,6 +154,8 @@ class InterchangeScopes final : public CheckedTransform {
 
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
+    // Both nests swap ids, so neither is a stable dirty root; the parent is.
+    reportDirtySubtree(ir::findParent(q.root, loc.node)->id);
     Node* outer = ir::findNode(q.root, loc.node);
     Node& inner = outer->children[0];
     // Swapping (id, extent, anno) between the two nests swaps the loops:
@@ -192,6 +199,8 @@ class JoinScopes final : public CheckedTransform {
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
     Node* parent = ir::findParent(q.root, loc.node);
+    // The fused sibling disappears from the parent's child list.
+    reportDirtySubtree(parent->id);
     const int i = ir::childIndex(*parent, loc.node);
     Node& s = parent->children[static_cast<std::size_t>(i)];
     Node t = std::move(parent->children[static_cast<std::size_t>(i) + 1]);
@@ -236,6 +245,8 @@ class FissionScope final : public CheckedTransform {
 
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
+    // A new sibling scope appears next to `s` in the parent's child list.
+    reportDirtySubtree(ir::findParent(q.root, loc.node)->id);
     Node* s = ir::findNode(q.root, loc.node);
     const auto cut = static_cast<std::size_t>(loc.param);
     Node t = Node::scope(q.freshId(), s->extent);
@@ -295,6 +306,7 @@ class ReorderOps final : public CheckedTransform {
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
     Node* parent = ir::findParent(q.root, loc.node);
+    reportDirtySubtree(parent->id);
     const int i = ir::childIndex(*parent, loc.node);
     std::swap(parent->children[static_cast<std::size_t>(i)],
               parent->children[static_cast<std::size_t>(i) + 1]);

@@ -118,6 +118,7 @@ class ReuseDims final : public CheckedTransform {
 
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
+    reportBuffersChanged();  // header-only: the tree is untouched
     q.findBuffer(loc.buffer)->materialized[static_cast<std::size_t>(loc.dim)] = false;
   }
 };
@@ -151,6 +152,7 @@ class MaterializeDims final : public CheckedTransform {
 
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
+    reportBuffersChanged();  // header-only: the tree is untouched
     q.findBuffer(loc.buffer)->materialized[static_cast<std::size_t>(loc.dim)] = true;
   }
 };
@@ -190,6 +192,8 @@ class ReorderDims final : public CheckedTransform {
 
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
+    // Rewrites accesses wherever the buffer is touched: no useful locality.
+    reportWholeTree();
     Buffer* b = q.findBuffer(loc.buffer);
     const auto i = static_cast<std::size_t>(loc.dim);
     const auto j = static_cast<std::size_t>(loc.dim2);
@@ -241,6 +245,7 @@ class PadDim final : public CheckedTransform {
 
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
+    reportBuffersChanged();  // header-only: the tree is untouched
     q.findBuffer(loc.buffer)->shape[static_cast<std::size_t>(loc.dim)] = loc.param;
   }
 };
@@ -296,6 +301,7 @@ class SetStorage final : public CheckedTransform {
 
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
+    reportBuffersChanged();  // header-only: the tree is untouched
     q.findBuffer(loc.buffer)->space = loc.space;
   }
 };

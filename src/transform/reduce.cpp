@@ -106,6 +106,10 @@ class PartialReduce final : public CheckedTransform {
 
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
+    // init/combine loops are inserted as siblings of S, and a fresh partial
+    // buffer joins the header.
+    reportDirtySubtree(ir::findParent(q.root, loc.node)->id);
+    reportBuffersChanged();
     Node* s = ir::findNode(q.root, loc.node);
     const std::int64_t k = loc.param;
     Node op = std::move(s->children[0]);

@@ -2,11 +2,19 @@
 
 #include <cstdlib>
 
+#include "ir/incremental.h"
 #include "ir/walk.h"
 #include "support/common.h"
 #include "support/strings.h"
 
 namespace perfdojo::transform {
+
+void Transform::applyInPlace(ir::Program& q, const Location& loc,
+                             ir::MutationSummary* mut, bool validate) const {
+  (void)validate;  // apply() always validates
+  q = apply(q, loc);
+  if (mut) *mut = ir::MutationSummary::conservative();
+}
 
 std::string Transform::describe(const ir::Program& p, const Location& loc) const {
   std::string s = name() + "(";

@@ -17,6 +17,10 @@
 #include "ir/dtype.h"
 #include "ir/program.h"
 
+namespace perfdojo::ir {
+struct MutationSummary;
+}
+
 namespace perfdojo::transform {
 
 /// Capabilities of the optimization target, gating which transformations are
@@ -69,6 +73,20 @@ class Transform {
   /// Applies at `loc`. Throws Error if the location is not applicable
   /// (defense against stale locations; search code never triggers this).
   virtual ir::Program apply(const ir::Program& p, const Location& loc) const = 0;
+
+  /// Applies at `loc` by mutating `q`, filling `mut` (when non-null) with
+  /// the mutation's footprint for incremental consumers (delta candidate
+  /// hashing, the fuzzer's incremental-hash layer). `validate=false` skips
+  /// the O(n) Program::validate — only for callers that immediately undo the
+  /// mutation and never hand `q` onward. The base implementation falls back
+  /// to apply() with a conservative (whole-program) summary, so transforms
+  /// that do not report stay correct, just not fast.
+  ///
+  /// On throw, `q` may be left partially mutated; callers keeping `q` alive
+  /// must restore it themselves.
+  virtual void applyInPlace(ir::Program& q, const Location& loc,
+                            ir::MutationSummary* mut,
+                            bool validate = true) const;
 
   /// Human-readable rendering, e.g. "split_scope(@2 extent=512, factor=16)".
   std::string describe(const ir::Program& p, const Location& loc) const;

@@ -63,6 +63,23 @@ TEST(EvalCache, LookupInsertAreUncounted) {
   EXPECT_EQ(cache.stats().entries, 1u);
 }
 
+TEST(EvalCache, SelfCheckCrossValidatesHashImplementations) {
+  // selfCheck must compare the monolithic render against an independent
+  // incremental rebuild (the old version hashed the same way twice, which
+  // could only ever agree with itself), and must flag a stale maintained
+  // hash handed in by an incremental caller.
+  EvalCache cache;
+  const auto p = kernels::makeSoftmax(8, 8);
+  const auto& m = machines::xeon();
+  std::string detail;
+  const std::uint64_t good = ir::canonicalHash(p);
+  EXPECT_TRUE(cache.selfCheck(m, p, &detail, &good)) << detail;
+
+  const std::uint64_t stale = good ^ 1;
+  EXPECT_FALSE(cache.selfCheck(m, p, &detail, &stale));
+  EXPECT_NE(detail.find("stale"), std::string::npos) << detail;
+}
+
 TEST(ParallelEvaluator, ForEachCoversAllIndices) {
   ParallelEvaluator pool(4);
   EXPECT_EQ(pool.threads(), 4);

@@ -74,6 +74,50 @@ class EvilOfferThenThrow : public Transform {
   }
 };
 
+/// Annotates a loop (interp-neutral, round-trips fine) but *reports no
+/// mutation*: the incrementally maintained canonical hash silently goes
+/// stale — the under-reporting bug class only the incremental-hash layer
+/// can catch, because every other layer sees a perfectly healthy program.
+class EvilSilentAnnotate : public Transform {
+ public:
+  std::string name() const override { return "evil_silent_annotate"; }
+  std::vector<Location> findApplicable(const ir::Program& p,
+                                       const MachineCaps&) const override {
+    std::vector<Location> locs;
+    collect(p.root, locs);
+    return locs;
+  }
+  ir::Program apply(const ir::Program& p, const Location& loc) const override {
+    ir::Program q = p;
+    mutate(q, loc);
+    return q;
+  }
+  void applyInPlace(ir::Program& q, const Location& loc,
+                    ir::MutationSummary* mut, bool) const override {
+    mutate(q, loc);
+    if (mut) *mut = ir::MutationSummary::none();  // the lie under test
+  }
+
+ private:
+  static void collect(const ir::Node& n, std::vector<Location>& locs) {
+    for (const auto& c : n.children) {
+      if (!c.isScope()) continue;
+      if (c.anno == ir::LoopAnno::None) {
+        Location l;
+        l.node = c.id;
+        locs.push_back(l);
+      }
+      collect(c, locs);
+    }
+  }
+  static void mutate(ir::Program& q, const Location& loc) {
+    ir::Node* n = ir::findNode(q.root, loc.node);
+    require(n && n->isScope() && n->anno == ir::LoopAnno::None,
+            "evil_silent_annotate: stale location");
+    n->anno = ir::LoopAnno::Unroll;
+  }
+};
+
 const EvilMulToAdd& evilMulToAdd() {
   static const EvilMulToAdd t;
   return t;
@@ -82,11 +126,16 @@ const EvilOfferThenThrow& evilOfferThenThrow() {
   static const EvilOfferThenThrow t;
   return t;
 }
+const EvilSilentAnnotate& evilSilentAnnotate() {
+  static const EvilSilentAnnotate t;
+  return t;
+}
 
 /// Resolver that also knows the test-only transforms.
 const Transform* testResolver(const std::string& name) {
   if (name == evilMulToAdd().name()) return &evilMulToAdd();
   if (name == evilOfferThenThrow().name()) return &evilOfferThenThrow();
+  if (name == evilSilentAnnotate().name()) return &evilSilentAnnotate();
   return transform::findTransform(name);
 }
 
@@ -294,6 +343,32 @@ TEST(MetaTest, InjectedMisdetectionIsCaughtShrunkAndReplayable) {
   EXPECT_EQ(r1.detail, r2.detail);
   EXPECT_EQ(r1.layer, r2.layer);
   EXPECT_EQ(f.report.detail, r1.detail);
+}
+
+TEST(MetaTest, UnderReportedMutationIsCaughtAtIncrementalHashLayer) {
+  // The annotation itself is harmless — interp, roundtrip, cache and codegen
+  // all pass on the resulting program. Only the incremental-hash layer,
+  // cross-checking the walk's maintained hash against a full re-render,
+  // can expose the missing MutationSummary.
+  FuzzConfig cfg;
+  cfg.seed = 11;
+  cfg.kernels = {"add"};
+  cfg.profiles = {"cpu"};
+  cfg.trajectories = 4;
+  cfg.max_steps = 6;
+  cfg.codegen_final = false;
+  cfg.transforms = {&transform::splitScope(), &evilSilentAnnotate()};
+
+  const auto r = runFuzz(cfg);
+  ASSERT_FALSE(r.ok()) << "incremental-hash layer missed the silent mutation";
+  const Finding& f = r.findings.front();
+  EXPECT_EQ(f.witness.layer, "incremental-hash");
+  ASSERT_GE(f.witness.steps.size(), 1u);
+  // The minimizer replays incrementally, so the shrunk trajectory must still
+  // end in (and typically consist only of) the under-reporting step.
+  EXPECT_EQ(f.witness.steps.back().transform, &evilSilentAnnotate());
+  EXPECT_NE(f.report.detail.find("full re-render"), std::string::npos)
+      << f.report.detail;
 }
 
 TEST(MetaTest, OfferThenThrowIsCaughtAtApplyLayer) {

@@ -3,11 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include "ir/canonical.h"
 #include "kernels/kernels.h"
 #include "machines/machine.h"
 #include "search/pass.h"
 #include "search/search.h"
 #include "support/stats.h"
+#include "support/telemetry.h"
 #include "verify/verifier.h"
 
 namespace perfdojo::search {
@@ -267,6 +269,72 @@ TEST(Search, FiniteMachineReportsNoNonFiniteRejections) {
   const auto r = runSearch(kernels::makeSoftmax(8, 32), machines::xeon(), sc);
   EXPECT_EQ(r.stats.nonfinite_rejected, 0);
   EXPECT_TRUE(std::isfinite(r.best_runtime));
+}
+
+/// Drops every "wall_ms" field from a JSONL trace: the only member whose
+/// value legitimately varies between bit-identical runs.
+std::string stripWallClock(std::string jsonl) {
+  const std::string key = ",\"wall_ms\":";
+  for (std::size_t at; (at = jsonl.find(key)) != std::string::npos;) {
+    std::size_t end = at + key.size();
+    while (end < jsonl.size() && jsonl[end] != ',' && jsonl[end] != '}') ++end;
+    jsonl.erase(at, end - at);
+  }
+  return jsonl;
+}
+
+TEST(Search, DeltaAndThreadsPreserveTraceBitIdentity) {
+  // Regression net for the delta-candidate path: on two kernels, every
+  // combination of {threads=1, threads=8} x {delta off, delta on} must make
+  // exactly the decisions of the reference run — same best cost and winning
+  // program, same convergence trace, and a bit-identical JSONL telemetry
+  // stream (visit order, per-step runtimes, acceptance decisions, memo
+  // counters; everything except wall-clock). Any divergence means the
+  // incremental hash disagreed with the full render somewhere in the walk.
+  const auto& m = machines::xeon();
+  const std::vector<ir::Program> kernels_under_test = {
+      kernels::makeSoftmax(48, 24), kernels::makeMatmul(16, 16, 16)};
+  for (const auto& kernel : kernels_under_test) {
+    SearchConfig base;
+    base.method = SearchMethod::SimulatedAnnealing;
+    base.structure = SpaceStructure::Edges;
+    base.budget = 160;
+    base.max_steps = 10;
+    base.seed = 7;
+    base.use_cache = true;
+
+    Telemetry ref_sink;
+    SearchConfig ref_cfg = base;
+    ref_cfg.threads = 1;
+    ref_cfg.use_delta = false;
+    ref_cfg.telemetry = &ref_sink;
+    const auto reference = runSearch(kernel, m, ref_cfg);
+    const std::string ref_trace = stripWallClock(ref_sink.buffered());
+    ASSERT_FALSE(ref_trace.empty());
+
+    for (int threads : {1, 8}) {
+      for (bool use_delta : {false, true}) {
+        SCOPED_TRACE(::testing::Message() << "threads=" << threads
+                                          << " delta=" << use_delta);
+        Telemetry sink;
+        SearchConfig cfg = base;
+        cfg.threads = threads;
+        cfg.use_delta = use_delta;
+        cfg.telemetry = &sink;
+        const auto r = runSearch(kernel, m, cfg);
+        EXPECT_EQ(reference.best_runtime, r.best_runtime);
+        EXPECT_EQ(reference.evals, r.evals);
+        EXPECT_TRUE(ir::canonicallyEqual(reference.best, r.best));
+        ASSERT_EQ(reference.trace.size(), r.trace.size());
+        for (std::size_t i = 0; i < reference.trace.size(); ++i)
+          ASSERT_EQ(reference.trace[i], r.trace[i]) << "at eval " << i;
+        // The memo counters in search_end are part of the compared stream:
+        // delta may not change how often the table hits, only what a hit
+        // costs.
+        EXPECT_EQ(stripWallClock(sink.buffered()), ref_trace);
+      }
+    }
+  }
 }
 
 }  // namespace
