@@ -1,9 +1,9 @@
 #include "ir/parser.h"
 
 #include <cctype>
-#include <cstdlib>
 
 #include "support/common.h"
+#include "support/numeric.h"
 #include "support/strings.h"
 
 namespace perfdojo::ir {
@@ -58,7 +58,11 @@ class Cursor {
     while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
       ++pos_;
     require(pos_ > start, err("expected integer"));
-    return std::strtoll(s_.substr(start, pos_ - start).c_str(), nullptr, 10);
+    std::int64_t v = 0;
+    // Checked parse: strtoll would silently saturate an overlong literal.
+    require(parseInt64(s_.substr(start, pos_ - start), v),
+            err("integer out of range"));
+    return v;
   }
   /// Floating literal incl. inf/-inf; also plain integers.
   double number() {
@@ -76,7 +80,13 @@ class Cursor {
              (s_[pos_ - 1] == 'e' || s_[pos_ - 1] == 'E'))))
       ++pos_;
     require(pos_ > start, err("expected number"));
-    return std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    double v = 0;
+    // Locale-free whole-token parse: strtod honors LC_NUMERIC (a comma-
+    // decimal locale breaks round-trips) and silently accepts prefixes of
+    // malformed literals like "5e".
+    require(parseDouble(s_.substr(start, pos_ - start), v),
+            err("malformed number"));
+    return v;
   }
   std::string err(const std::string& msg) const {
     return "parse error at line " + std::to_string(line_) + ": " + msg +

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <charconv>
 #include <cstdio>
 
 #include "support/common.h"
@@ -67,9 +68,12 @@ std::string exprStr(const IndexExpr& e, const std::vector<NodeId>& chain) {
 
 std::string constStr(double v) {
   if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  // Locale-free "%.17g": printed constants feed canonicalText, so a comma-
+  // decimal LC_NUMERIC must not change program text or canonical hashes.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+  const auto r =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::general, 17);
+  return std::string(buf, r.ptr);
 }
 
 std::string accessStr(const Access& a, const std::vector<NodeId>& chain) {

@@ -10,6 +10,7 @@
 
 #include "machines/machine.h"
 #include "kernels/kernels.h"
+#include "search/evalcache.h"
 
 namespace perfdojo::libgen {
 
@@ -27,6 +28,10 @@ struct LibGenConfig {
   int search_budget = 300;     // evaluations (Search)
   int rl_episodes = 60;        // episodes (PerfLLM)
   std::uint64_t seed = 1;
+  /// Worker threads for candidate evaluation inside Search (0 = all cores).
+  /// The tuning server sets this to 1 so concurrent requests don't multiply
+  /// into threads x cores.
+  int threads = 0;
 };
 
 struct LibraryEntry {
@@ -42,12 +47,23 @@ struct LibraryEntry {
 struct Library {
   std::string machine;
   std::vector<LibraryEntry> entries;
+  /// Accounting of the library-wide shared memo table: every optimizer arm
+  /// prices programs through one EvalCache, so structurally overlapping
+  /// kernels (the reduction family) reuse each other's evaluations.
+  search::EvalCacheStats cache_stats;
 
   /// Umbrella header declaring every kernel.
   std::string header(const std::string& guard = "PERFDOJO_LIB_H") const;
   /// Human-readable manifest: per-kernel speedups and recipes.
   std::string manifest() const;
 };
+
+/// Tunes ONE kernel: optimize with cfg.optimizer, price baseline and tuned
+/// through `cache` (when given — all arms, including the two bookkeeping
+/// evaluations, go through it), then codegen. This is the unit of work
+/// shared by generateLibrary and the tuning server.
+LibraryEntry tuneOne(const kernels::KernelInfo& k, const machines::Machine& m,
+                     const LibGenConfig& cfg, search::EvalCache* cache = nullptr);
 
 /// Optimizes and codegens every kernel in `kernels` for machine `m`.
 Library generateLibrary(const std::vector<kernels::KernelInfo>& kernels,

@@ -1,0 +1,375 @@
+#include "libgen/server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <istream>
+#include <ostream>
+#include <thread>
+
+#include "ir/canonical.h"
+#include "support/common.h"
+#include "support/numeric.h"
+#include "support/strings.h"
+#include "support/telemetry.h"
+
+namespace perfdojo::libgen {
+
+namespace {
+
+bool parseOptimizer(const std::string& name, Optimizer& out) {
+  if (name == "none") out = Optimizer::None;
+  else if (name == "heuristic") out = Optimizer::Heuristic;
+  else if (name == "search") out = Optimizer::Search;
+  else if (name == "rl" || name == "perfllm") out = Optimizer::PerfLLM;
+  else return false;
+  return true;
+}
+
+constexpr std::int64_t kMaxBudget = 1'000'000'000;
+
+}  // namespace
+
+std::uint64_t requestKey(const std::string& label, std::uint64_t canonical_hash,
+                         const std::string& machine, Optimizer opt,
+                         std::int64_t effective_budget, std::uint64_t seed) {
+  std::uint64_t h = fnv1a(label);
+  h = fnv1a(machine, h);
+  h = fnv1a(std::string(optimizerName(opt)), h);
+  h = fnv1a(&canonical_hash, sizeof canonical_hash, h);
+  h = fnv1a(&effective_budget, sizeof effective_budget, h);
+  h = fnv1a(&seed, sizeof seed, h);
+  return h;
+}
+
+std::string requestToJson(const TuneRequest& r) {
+  return Event("tune_request")
+      .str("id", r.id)
+      .str("kernel", r.kernel)
+      .str("machine", r.machine)
+      .str("optimizer", r.optimizer)
+      .integer("budget", r.budget)
+      .integer("seed", static_cast<std::int64_t>(r.seed))
+      .json();
+}
+
+std::string responseToJson(const TuneResponse& r) {
+  Event e("tune_response");
+  e.str("id", r.id).boolean("ok", r.ok);
+  if (!r.ok) e.str("error", r.error);
+  e.str("kernel", r.kernel)
+      .str("machine", r.machine)
+      .str("optimizer", r.optimizer)
+      .str("served", r.served)
+      .str("key", formatHex64(r.key))
+      .num("baseline_runtime", r.baseline_runtime)
+      .num("tuned_runtime", r.tuned_runtime)
+      .integer("evaluations", r.evaluations)
+      .str("recipe", r.recipe)
+      .str("signature", r.signature)
+      .str("source", r.source);
+  return e.json();
+}
+
+bool parseTuneRequest(const std::string& line, TuneRequest& out,
+                      std::string& err) {
+  JsonValue doc;
+  if (!parseJson(line, doc, &err)) return false;
+  if (doc.kind != JsonValue::Kind::Object) {
+    err = "request must be a JSON object";
+    return false;
+  }
+  out = TuneRequest{};
+  out.id = doc.stringOr("id", "");
+  out.kernel = doc.stringOr("kernel", "");
+  out.machine = doc.stringOr("machine", "");
+  out.optimizer = doc.stringOr("optimizer", "heuristic");
+  out.budget = static_cast<std::int64_t>(doc.numberOr("budget", -1));
+  out.seed = static_cast<std::uint64_t>(doc.numberOr("seed", 1));
+  if (out.kernel.empty()) {
+    err = "missing required field 'kernel'";
+    return false;
+  }
+  if (out.machine.empty()) {
+    err = "missing required field 'machine'";
+    return false;
+  }
+  return true;
+}
+
+bool parseTuneResponse(const std::string& line, TuneResponse& out,
+                       std::string& err) {
+  JsonValue doc;
+  if (!parseJson(line, doc, &err)) return false;
+  if (doc.kind != JsonValue::Kind::Object) {
+    err = "response must be a JSON object";
+    return false;
+  }
+  out = TuneResponse{};
+  out.id = doc.stringOr("id", "");
+  out.ok = doc.boolOr("ok", false);
+  out.error = doc.stringOr("error", "");
+  out.kernel = doc.stringOr("kernel", "");
+  out.machine = doc.stringOr("machine", "");
+  out.optimizer = doc.stringOr("optimizer", "");
+  out.served = doc.stringOr("served", "");
+  if (!parseHex64(doc.stringOr("key", ""), out.key)) {
+    err = "missing or malformed 'key'";
+    return false;
+  }
+  out.baseline_runtime = doc.numberOr("baseline_runtime", 0);
+  out.tuned_runtime = doc.numberOr("tuned_runtime", 0);
+  out.evaluations = static_cast<std::int64_t>(doc.numberOr("evaluations", 0));
+  out.recipe = doc.stringOr("recipe", "");
+  out.signature = doc.stringOr("signature", "");
+  out.source = doc.stringOr("source", "");
+  return true;
+}
+
+TuneServer::TuneServer(ServeConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.cache_dir.empty())
+    store_ = std::make_unique<search::ShardStore>(cfg_.cache_dir, cfg_.shards);
+}
+
+void TuneServer::bump(std::int64_t ServeStats::* field) {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ++(stats_.*field);
+}
+
+ServeStats TuneServer::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+TuneResponse TuneServer::invalid(const std::string& id,
+                                 const std::string& error) {
+  bump(&ServeStats::requests);
+  bump(&ServeStats::errors);
+  TuneResponse resp;
+  resp.id = id;
+  resp.ok = false;
+  resp.error = error;
+  return resp;
+}
+
+TuneResponse TuneServer::serveWarm(const TuneRequest& r, std::uint64_t key,
+                                   const TuneResponse& cached) {
+  TuneResponse resp = cached;
+  resp.id = r.id;
+  resp.served = "warm";
+  bump(&ServeStats::warm_hits);
+  if (cfg_.telemetry)
+    cfg_.telemetry->emit(Event("serve_request")
+                             .str("id", r.id)
+                             .str("kernel", r.kernel)
+                             .str("machine", r.machine)
+                             .str("served", "warm")
+                             .str("key", formatHex64(key))
+                             .boolean("ok", true));
+  return resp;
+}
+
+TuneResponse TuneServer::handle(const TuneRequest& r) {
+  bump(&ServeStats::requests);
+  TuneResponse resp;
+  resp.id = r.id;
+  resp.kernel = r.kernel;
+  resp.machine = r.machine;
+  resp.optimizer = r.optimizer;
+  const auto failWith = [&](const std::string& msg) {
+    bump(&ServeStats::errors);
+    resp.ok = false;
+    resp.error = msg;
+    if (cfg_.telemetry)
+      cfg_.telemetry->emit(Event("serve_request")
+                               .str("id", r.id)
+                               .str("kernel", r.kernel)
+                               .str("machine", r.machine)
+                               .str("served", "error")
+                               .boolean("ok", false)
+                               .str("error", msg));
+    return resp;
+  };
+
+  const auto* k = kernels::findKernel(r.kernel);
+  if (!k) return failWith("unknown kernel '" + r.kernel + "'");
+  const auto* m = machines::findMachine(r.machine);
+  if (!m) return failWith("unknown machine '" + r.machine + "'");
+  Optimizer opt;
+  if (!parseOptimizer(r.optimizer, opt))
+    return failWith("unknown optimizer '" + r.optimizer +
+                    "' (none|heuristic|search|rl)");
+  if (r.budget > kMaxBudget)
+    return failWith("budget " + std::to_string(r.budget) + " out of range [0, " +
+                    std::to_string(kMaxBudget) + "]");
+
+  LibGenConfig cfg = cfg_.defaults;
+  cfg.optimizer = opt;
+  cfg.seed = r.seed;
+  if (r.budget >= 0) {
+    cfg.search_budget = static_cast<int>(r.budget);
+    cfg.rl_episodes = static_cast<int>(r.budget);
+  }
+  // Budget only shapes the result for the budgeted optimizers, so it is
+  // normalized out of the key for the deterministic ones: (heuristic,
+  // budget 7) and (heuristic, budget 300) share a schedule.
+  const std::int64_t eff_budget = opt == Optimizer::Search ? cfg.search_budget
+                                  : opt == Optimizer::PerfLLM ? cfg.rl_episodes
+                                                              : 0;
+  const ir::Program base = k->build();
+  const std::uint64_t key = requestKey(r.kernel, ir::canonicalHash(base),
+                                       m->name(), opt, eff_budget, r.seed);
+  resp.key = key;
+
+  // L1: finished results of this process.
+  TuneResponse cached;
+  if (results_.get(key, cached)) return serveWarm(r, key, cached);
+
+  // L2: the persistent schedule cache (shared across restarts).
+  std::string record;
+  if (store_ && store_->get(key, record)) {
+    TuneResponse parsed;
+    std::string perr;
+    if (parseTuneResponse(record, parsed, perr) && parsed.ok) {
+      parsed.key = key;
+      results_.set(key, parsed);
+      return serveWarm(r, key, parsed);
+    }
+    // An unreadable or failed record falls through to a fresh tuning run,
+    // which overwrites it.
+  }
+
+  // In-flight dedupe: the first claimant tunes, everyone else joins.
+  auto ticket = inflight_.claim(key);
+  if (!ticket.owner) {
+    try {
+      TuneResponse joined = ticket.future.get();
+      joined.id = r.id;
+      joined.served = "joined";
+      bump(&ServeStats::dedupe_joins);
+      if (cfg_.telemetry)
+        cfg_.telemetry->emit(Event("serve_request")
+                                 .str("id", r.id)
+                                 .str("kernel", r.kernel)
+                                 .str("machine", r.machine)
+                                 .str("served", "joined")
+                                 .str("key", formatHex64(key))
+                                 .boolean("ok", true));
+      return joined;
+    } catch (const std::exception& e) {
+      return failWith(std::string("joined tuning run failed: ") + e.what());
+    }
+  }
+
+  // Owner. Another owner may have fulfilled and retired this key between
+  // our L1 probe and the claim — re-check before paying for tuning.
+  if (results_.get(key, cached)) {
+    inflight_.fulfill(key, cached);
+    return serveWarm(r, key, cached);
+  }
+
+  try {
+    const LibraryEntry e = tuneOne(*k, *m, cfg, &eval_cache_);
+    resp.ok = true;
+    resp.served = "tuned";
+    resp.recipe = e.recipe;
+    resp.signature = e.signature;
+    resp.source = e.source;
+    resp.baseline_runtime = e.baseline_runtime;
+    resp.tuned_runtime = e.tuned_runtime;
+    resp.evaluations = e.evaluations;
+    bump(&ServeStats::tuning_runs);
+
+    // The cached record carries no per-request identity.
+    TuneResponse stored = resp;
+    stored.id.clear();
+    stored.served.clear();
+    results_.set(key, stored);
+    if (store_) {
+      try {
+        store_->put(key, responseToJson(stored));
+      } catch (const Error&) {
+        bump(&ServeStats::store_errors);
+      }
+    }
+    inflight_.fulfill(key, stored);
+    if (cfg_.telemetry)
+      cfg_.telemetry->emit(Event("serve_request")
+                               .str("id", r.id)
+                               .str("kernel", r.kernel)
+                               .str("machine", r.machine)
+                               .str("served", "tuned")
+                               .str("key", formatHex64(key))
+                               .num("tuned_runtime", resp.tuned_runtime)
+                               .integer("evaluations", resp.evaluations)
+                               .boolean("ok", true));
+    return resp;
+  } catch (const std::exception& e) {
+    inflight_.fail(key, std::current_exception());
+    return failWith(std::string("tuning failed: ") + e.what());
+  }
+}
+
+std::vector<TuneResponse> TuneServer::handleBatch(
+    const std::vector<TuneRequest>& rs) {
+  std::vector<TuneResponse> out(rs.size());
+  const int n = std::max(1, std::min<int>(cfg_.workers,
+                                          static_cast<int>(rs.size())));
+  std::atomic<std::size_t> next{0};
+  auto work = [&] {
+    for (std::size_t i = next.fetch_add(1); i < rs.size();
+         i = next.fetch_add(1))
+      out[i] = handle(rs[i]);
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n) - 1);
+  for (int t = 1; t < n; ++t) pool.emplace_back(work);
+  work();
+  for (auto& th : pool) th.join();
+  return out;
+}
+
+std::int64_t runServe(TuneServer& server, std::istream& in, std::ostream& out) {
+  ThreadSafeQueue<std::string> requests;
+  ThreadSafeQueue<std::string> responses;
+
+  std::thread writer([&] {
+    std::string line;
+    while (responses.pop(line)) {
+      out << line << '\n';
+      out.flush();  // one line = one response: stream them as they finish
+    }
+  });
+
+  const int n = std::max(1, server.workers());
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t)
+    pool.emplace_back([&] {
+      std::string line;
+      while (requests.pop(line)) {
+        TuneRequest req;
+        std::string err;
+        TuneResponse resp;
+        if (parseTuneRequest(line, req, err))
+          resp = server.handle(req);
+        else
+          resp = server.invalid("", "malformed request: " + err);
+        responses.push(responseToJson(resp));
+      }
+    });
+
+  std::int64_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    requests.push(line);
+    ++lines;
+  }
+  requests.close();
+  for (auto& th : pool) th.join();
+  responses.close();
+  writer.join();
+  return lines;
+}
+
+}  // namespace perfdojo::libgen

@@ -24,6 +24,7 @@ PerfDojoEnv::PerfDojoEnv(ir::Program kernel, const machines::Machine& m,
 void PerfDojoEnv::reset() {
   dojo::DojoOptions opts;
   opts.reward_scale = cfg_.reward_scale;
+  opts.eval_cache = cfg_.eval_cache;
   dojo_.emplace(kernel_, *machine_, opts);
   state_ = embedder_->embedProgram(dojo_->program());
   steps_ = 0;

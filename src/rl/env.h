@@ -16,6 +16,10 @@ namespace perfdojo {
 class Telemetry;
 }
 
+namespace perfdojo::search {
+class EvalCache;
+}
+
 namespace perfdojo::rl {
 
 struct EnvConfig {
@@ -31,6 +35,9 @@ struct EnvConfig {
   double reward_clamp = 1e9;
   /// Optional JSONL sink for per-step "rl_step" events (nullptr = off).
   Telemetry* telemetry = nullptr;
+  /// Optional shared memo table, forwarded to the underlying Dojo so state
+  /// pricing is memoized across episodes (and across kernels when shared).
+  search::EvalCache* eval_cache = nullptr;
 };
 
 struct EnvCandidate {

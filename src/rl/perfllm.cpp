@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "search/evalcache.h"
 #include "support/common.h"
 #include "support/telemetry.h"
 
@@ -11,15 +12,19 @@ PerfLLMResult optimizeKernel(const ir::Program& kernel,
                              const machines::Machine& m,
                              const PerfLLMConfig& cfg) {
   TextEmbedder embedder(cfg.embedding_dim);
+  const auto price = [&](const ir::Program& p) {
+    return cfg.eval_cache ? cfg.eval_cache->evaluate(m, p) : m.evaluate(p);
+  };
   EnvConfig ec;
   ec.max_steps = cfg.max_steps;
   ec.candidate_cap = cfg.candidate_cap;
   // r = c/T with the scaling constant c chosen as the unscheduled kernel's
   // runtime, so rewards are dimensionless speedups (~1..100) and the value
   // network regresses over a well-conditioned range on every kernel.
-  ec.reward_scale = m.evaluate(kernel);
+  ec.reward_scale = price(kernel);
   ec.log_reward = cfg.log_reward;
   ec.telemetry = cfg.telemetry;
+  ec.eval_cache = cfg.eval_cache;
   PerfDojoEnv env(kernel, m, embedder, ec);
 
   DqnConfig dc;
@@ -35,7 +40,7 @@ PerfLLMResult optimizeKernel(const ir::Program& kernel,
 
   Rng rng(cfg.seed);
   PerfLLMResult res;
-  res.initial_runtime = m.evaluate(kernel);
+  res.initial_runtime = price(kernel);
 
   double epsilon = cfg.epsilon_start;
   for (int ep = 0; ep < cfg.episodes; ++ep) {

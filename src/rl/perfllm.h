@@ -11,6 +11,10 @@
 #include "rl/embedding.h"
 #include "rl/env.h"
 
+namespace perfdojo::search {
+class EvalCache;
+}
+
 namespace perfdojo::rl {
 
 struct PerfLLMConfig {
@@ -31,6 +35,12 @@ struct PerfLLMConfig {
   /// Optional JSONL sink, forwarded to the env ("rl_step") and the agent
   /// ("dqn_sync"); the trainer adds one "rl_episode" event per episode.
   Telemetry* telemetry = nullptr;
+  /// Optional shared memo table: every program evaluation (episode resets,
+  /// per-move pricing inside the Dojo) goes through it, so revisited states
+  /// — within an episode, across episodes, and across kernels of a library
+  /// run — are priced once. Costs are deterministic, so results are
+  /// bit-identical with or without it.
+  search::EvalCache* eval_cache = nullptr;
 };
 
 struct PerfLLMResult {

@@ -1,0 +1,129 @@
+#include "search/diskstore.h"
+
+#include <filesystem>
+
+#include "support/common.h"
+#include "support/io.h"
+#include "support/numeric.h"
+#include "support/strings.h"
+#include "support/telemetry.h"
+
+namespace perfdojo::search {
+
+namespace fs = std::filesystem;
+
+ShardStore::ShardStore(std::string dir, int shards)
+    : dir_(std::move(dir)), nshards_(shards) {
+  require(nshards_ >= 1, "ShardStore: shard count must be >= 1");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  require(!ec, "ShardStore: cannot create " + dir_ + ": " + ec.message());
+  shards_.reserve(static_cast<std::size_t>(nshards_));
+  for (int i = 0; i < nshards_; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  for (int i = 0; i < nshards_; ++i) loadShard(i);
+}
+
+std::string ShardStore::shardName(int idx) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "shard-%03d.jsonl", idx);
+  return buf;
+}
+
+std::string ShardStore::shardPath(int idx) const {
+  return dir_ + "/" + shardName(idx);
+}
+
+void ShardStore::loadShard(int idx) {
+  const std::string path = shardPath(idx);
+  if (!fs::exists(path)) return;
+  Shard& sh = *shards_[static_cast<std::size_t>(idx)];
+  std::unordered_map<std::uint64_t, std::string> loaded;
+  bool corrupt = false;
+  std::string text;
+  try {
+    text = readTextFile(path);
+  } catch (const Error&) {
+    corrupt = true;
+  }
+  if (!corrupt) {
+    // Line format: "<16-hex-digit key> <single-line JSON record>". Any
+    // malformed line condemns the whole file: a torn tail means the rename
+    // discipline was bypassed (or the file was edited), so nothing in it is
+    // trustworthy.
+    for (const auto& line : splitLines(text)) {
+      if (line.empty()) continue;
+      const auto sp = line.find(' ');
+      std::uint64_t key = 0;
+      if (sp == std::string::npos || !parseHex64(line.substr(0, sp), key)) {
+        corrupt = true;
+        break;
+      }
+      std::string record = line.substr(sp + 1);
+      JsonValue doc;
+      if (!parseJson(record, doc)) {
+        corrupt = true;
+        break;
+      }
+      loaded[key] = std::move(record);
+    }
+  }
+  if (corrupt) {
+    std::error_code ec;
+    fs::rename(path, path + ".corrupt", ec);
+    if (ec) fs::remove(path, ec);  // quarantine must not be fatal either
+    ++quarantined_;
+    return;
+  }
+  sh.entries = std::move(loaded);
+}
+
+bool ShardStore::get(std::uint64_t key, std::string& out) const {
+  ++gets_;
+  const Shard& sh = *shards_[static_cast<std::size_t>(shardOf(key))];
+  std::lock_guard<std::mutex> lk(sh.mu);
+  auto it = sh.entries.find(key);
+  if (it == sh.entries.end()) return false;
+  out = it->second;
+  ++hits_;
+  return true;
+}
+
+void ShardStore::put(std::uint64_t key, const std::string& record) {
+  require(record.find('\n') == std::string::npos,
+          "ShardStore::put: record must be a single line");
+  const int idx = shardOf(key);
+  Shard& sh = *shards_[static_cast<std::size_t>(idx)];
+  std::lock_guard<std::mutex> lk(sh.mu);
+  sh.entries[key] = record;
+  ++puts_;
+  persistShardLocked(idx);
+}
+
+void ShardStore::persistShardLocked(int idx) {
+  const Shard& sh = *shards_[static_cast<std::size_t>(idx)];
+  std::string out;
+  for (const auto& [key, record] : sh.entries) {
+    out += formatHex64(key);
+    out += ' ';
+    out += record;
+    out += '\n';
+  }
+  writeTextFileAtomic(shardPath(idx), out);
+}
+
+ShardStore::Stats ShardStore::stats() const {
+  Stats s;
+  s.gets = gets_.load();
+  s.hits = hits_.load();
+  s.puts = puts_.load();
+  s.quarantined = quarantined_.load();
+  s.shards = nshards_;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    s.entries += sh->entries.size();
+  }
+  return s;
+}
+
+}  // namespace perfdojo::search

@@ -1,0 +1,81 @@
+// Sharded, content-addressed on-disk record store — the persistence layer
+// behind the tuning server's schedule cache.
+//
+// Keys are 64-bit content hashes (canonical program hash mixed with the
+// request parameters, see libgen::requestKey); records are opaque
+// single-line JSON strings. Records land in one of N shard files
+// (`shard-KKK.jsonl`, shard = key % N) so concurrent writers touching
+// different shards never contend and a rewrite only rewrites 1/N of the
+// data. Every write goes tmp-file + atomic rename, so a crash mid-write
+// leaves either the old shard or the new one — never a torn file.
+//
+// Durability over completeness: a shard file that fails to load (truncated
+// by a crash, hand-edited, wrong format) is *quarantined* — renamed to
+// `<shard>.corrupt` and its entries dropped — rather than taking the server
+// down. The worst case of losing a shard is re-tuning its requests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace perfdojo::search {
+
+class ShardStore {
+ public:
+  struct Stats {
+    std::int64_t gets = 0;      // lookup calls
+    std::int64_t hits = 0;      // lookups served
+    std::int64_t puts = 0;      // records written
+    int quarantined = 0;        // corrupt shard files renamed aside at load
+    std::size_t entries = 0;    // records currently held
+    int shards = 0;
+  };
+
+  /// Opens (creating if needed) `dir` and loads every existing shard file.
+  /// Throws Error when the directory cannot be created; corrupt shard files
+  /// are quarantined, not fatal.
+  explicit ShardStore(std::string dir, int shards = 8);
+
+  /// Copies the record for `key` into `out`; false on miss.
+  bool get(std::uint64_t key, std::string& out) const;
+
+  /// Inserts or overwrites, then persists the affected shard atomically.
+  /// `record` must be a single line (no '\n'). Throws Error on I/O failure —
+  /// the in-memory entry is kept, so serving continues even when the disk
+  /// does not.
+  void put(std::uint64_t key, const std::string& record);
+
+  Stats stats() const;
+  const std::string& dir() const { return dir_; }
+  int shardOf(std::uint64_t key) const {
+    return static_cast<int>(key % static_cast<std::uint64_t>(nshards_));
+  }
+  static std::string shardName(int idx);
+  std::string shardPath(int idx) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::string> entries;
+  };
+
+  void loadShard(int idx);
+  /// Serializes and atomically replaces shard `idx`'s file. Caller holds the
+  /// shard mutex.
+  void persistShardLocked(int idx);
+
+  std::string dir_;
+  int nshards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<std::int64_t> gets_{0};
+  mutable std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> puts_{0};
+  std::atomic<int> quarantined_{0};
+};
+
+}  // namespace perfdojo::search

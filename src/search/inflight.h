@@ -1,0 +1,76 @@
+// In-flight request deduplication (the futurepacker idiom): N concurrent
+// requests for the same content-addressed key must cost one tuning run.
+//
+// The first claimant of a key becomes its *owner* and computes the value;
+// everyone else receives a shared_future to wait on. The owner publishes
+// through fulfill() (or fail(), propagating the exception to all waiters),
+// which also retires the entry — by then the result is expected to live in
+// a cache/store layer above, so later requests hit that instead.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace perfdojo::search {
+
+template <class V>
+class InflightMap {
+ public:
+  struct Ticket {
+    std::shared_future<V> future;
+    bool owner = false;  // this claim created the entry: compute + publish
+  };
+
+  Ticket claim(std::uint64_t key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) return {it->second->future, false};
+    auto e = std::make_shared<Entry>();
+    e->future = e->promise.get_future().share();
+    Ticket t{e->future, true};
+    map_.emplace(key, std::move(e));
+    return t;
+  }
+
+  /// Publishes the owner's result to every waiter and retires the key.
+  void fulfill(std::uint64_t key, V value) {
+    std::shared_ptr<Entry> e = take(key);
+    if (e) e->promise.set_value(std::move(value));
+  }
+
+  /// Propagates the owner's failure to every waiter and retires the key.
+  void fail(std::uint64_t key, std::exception_ptr err) {
+    std::shared_ptr<Entry> e = take(key);
+    if (e) e->promise.set_exception(std::move(err));
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.size();
+  }
+
+ private:
+  struct Entry {
+    std::promise<V> promise;
+    std::shared_future<V> future;
+  };
+
+  std::shared_ptr<Entry> take(std::uint64_t key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    auto e = std::move(it->second);
+    map_.erase(it);
+    return e;
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> map_;
+};
+
+}  // namespace perfdojo::search

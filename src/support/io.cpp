@@ -1,0 +1,40 @@
+#include "support/io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/common.h"
+
+namespace perfdojo {
+
+void writeTextFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  require(f.good(), "writeTextFile: cannot open " + path);
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  f.flush();
+  require(f.good(), "writeTextFile: I/O error writing " + path);
+}
+
+void writeTextFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  writeTextFile(tmp, content);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp);
+    fail("writeTextFileAtomic: rename " + tmp + " -> " + path + ": " +
+         ec.message());
+  }
+}
+
+std::string readTextFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  require(f.good(), "readTextFile: cannot open " + path);
+  std::ostringstream out;
+  out << f.rdbuf();
+  require(!f.bad(), "readTextFile: I/O error reading " + path);
+  return out.str();
+}
+
+}  // namespace perfdojo

@@ -1,0 +1,68 @@
+#include "support/numeric.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace perfdojo {
+
+namespace {
+
+template <class T>
+bool parseWhole(std::string_view s, T& out) {
+  if (s.empty()) return false;
+  const auto r = std::from_chars(s.data(), s.data() + s.size(), out);
+  return r.ec == std::errc() && r.ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+bool parseInt64(std::string_view s, std::int64_t& out) {
+  // from_chars accepts a leading '-' for signed types but not '+'.
+  if (!s.empty() && s.front() == '+') s.remove_prefix(1);
+  return parseWhole(s, out);
+}
+
+bool parseUint64(std::string_view s, std::uint64_t& out) {
+  if (!s.empty() && s.front() == '+') s.remove_prefix(1);
+  // from_chars<unsigned> would wrap "-1" around; reject signs explicitly.
+  if (!s.empty() && s.front() == '-') return false;
+  return parseWhole(s, out);
+}
+
+bool parseDouble(std::string_view s, double& out) {
+  if (!s.empty() && s.front() == '+') s.remove_prefix(1);
+  if (s.empty()) return false;
+  const auto r = std::from_chars(s.data(), s.data() + s.size(), out);
+  return r.ec == std::errc() && r.ptr == s.data() + s.size();
+}
+
+std::size_t parseDoublePrefix(const char* begin, const char* end, double& out) {
+  if (begin == end) return 0;
+  const auto r = std::from_chars(begin, end, out);
+  if (r.ec != std::errc()) return 0;
+  return static_cast<std::size_t>(r.ptr - begin);
+}
+
+std::string formatDouble(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  const auto r = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, r.ptr);
+}
+
+std::string formatHex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+bool parseHex64(std::string_view s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 16) return false;
+  const auto r = std::from_chars(s.data(), s.data() + s.size(), out, 16);
+  return r.ec == std::errc() && r.ptr == s.data() + s.size();
+}
+
+}  // namespace perfdojo

@@ -1,0 +1,38 @@
+// Locale-independent numeric parsing and formatting.
+//
+// The CLI used to funnel flags through std::atoi (garbage silently becomes
+// 0) and the JSON/IR parsers through std::strtod (honors LC_NUMERIC, so a
+// comma-decimal host locale breaks every trace and program round-trip). A
+// long-running server does not control its host's locale and must not
+// accept garbage from a wire, so all numeric text I/O goes through these
+// std::from_chars / std::to_chars wrappers: locale-free, whole-string
+// checked, overflow-rejecting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace perfdojo {
+
+/// Strict whole-string parses: false on empty input, trailing junk,
+/// overflow, or a malformed number. No locale, no silent saturation.
+bool parseInt64(std::string_view s, std::int64_t& out);
+bool parseUint64(std::string_view s, std::uint64_t& out);
+bool parseDouble(std::string_view s, double& out);
+
+/// Longest-valid-prefix parse of a double starting at `begin`. Returns the
+/// number of characters consumed (0 = no valid number at `begin`).
+std::size_t parseDoublePrefix(const char* begin, const char* end, double& out);
+
+/// Shortest round-trip decimal representation ("0.1", not
+/// "0.10000000000000001"); always uses '.' regardless of locale. Non-finite
+/// values render as "inf"/"-inf"/"nan" — JSON emitters must null them first.
+std::string formatDouble(double v);
+
+/// Fixed-width lowercase hex (16 digits), and its strict inverse. Used for
+/// 64-bit content-addressed keys in JSON, where a double would lose bits.
+std::string formatHex64(std::uint64_t v);
+bool parseHex64(std::string_view s, std::uint64_t& out);
+
+}  // namespace perfdojo

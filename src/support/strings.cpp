@@ -1,6 +1,8 @@
 #include "support/strings.h"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace perfdojo {
@@ -62,9 +64,14 @@ std::string join(const std::vector<std::string>& parts, const std::string& sep) 
 }
 
 std::string fmt(double v, int precision) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  // Locale-free "%.*g" (snprintf would print a comma decimal point under
+  // e.g. LC_NUMERIC=de_DE).
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-  return buf;
+  const auto r = std::to_chars(buf, buf + sizeof buf, v,
+                               std::chars_format::general, precision);
+  return std::string(buf, r.ptr);
 }
 
 }  // namespace perfdojo

@@ -2,10 +2,10 @@
 
 #include <cctype>
 #include <cmath>
-#include <cstdlib>
 #include <cstring>
 
 #include "support/common.h"
+#include "support/numeric.h"
 
 namespace perfdojo {
 
@@ -191,13 +191,15 @@ struct Parser {
       out.kind = JsonValue::Kind::Null;
       return literal("null");
     }
-    // Number.
-    char* end = nullptr;
-    const double v = std::strtod(s.c_str() + i, &end);
-    if (end == s.c_str() + i) return fail("expected a JSON value");
+    // Number — parsed locale-free: std::strtod honors LC_NUMERIC, and a
+    // comma-decimal host locale must not break trace/wire round-trips.
+    double v = 0;
+    const std::size_t used =
+        parseDoublePrefix(s.data() + i, s.data() + s.size(), v);
+    if (used == 0) return fail("expected a JSON value");
     out.kind = JsonValue::Kind::Number;
     out.num = v;
-    i = static_cast<std::size_t>(end - s.c_str());
+    i += used;
     return true;
   }
 };
@@ -254,9 +256,9 @@ void appendNumber(std::string& out, double v) {
     out += "null";
     return;
   }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
+  // Locale-free shortest round-trip: snprintf("%.17g") would emit a comma
+  // decimal point under e.g. LC_NUMERIC=de_DE — invalid JSON.
+  out += formatDouble(v);
 }
 
 }  // namespace

@@ -1,0 +1,126 @@
+// Thread-safe container primitives for the serving layer (the
+// ThreadSafeMap / ThreadSafeQueue idiom of the Extra-P compositional
+// analyzer): a mutex-guarded hash map for shared result tables and a
+// blocking multi-producer/multi-consumer queue for request pipelines.
+//
+// Both are deliberately coarse-grained — one mutex per container. The
+// values that flow through them (tuning requests, finished schedules) cost
+// milliseconds to seconds to produce, so lock contention is never the
+// bottleneck; sharding for write throughput lives one level up (see
+// search::ShardStore).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace perfdojo {
+
+template <class K, class V>
+class ThreadSafeMap {
+ public:
+  /// Copies the stored value into `out`; false when absent.
+  bool get(const K& k, V& out) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(k);
+    if (it == map_.end()) return false;
+    out = it->second;
+    return true;
+  }
+
+  bool contains(const K& k) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.find(k) != map_.end();
+  }
+
+  /// Inserts or overwrites.
+  void set(const K& k, V v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    map_[k] = std::move(v);
+  }
+
+  /// Inserts only if absent; true when this call inserted.
+  bool setIfAbsent(const K& k, V v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.emplace(k, std::move(v)).second;
+  }
+
+  bool erase(const K& k) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.erase(k) > 0;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.size();
+  }
+
+  /// Consistent copy of the whole table (stats, persistence sweeps).
+  std::vector<std::pair<K, V>> snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return std::vector<std::pair<K, V>>(map_.begin(), map_.end());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<K, V> map_;
+};
+
+/// Blocking MPMC queue with explicit shutdown: consumers block in pop()
+/// until an item arrives or the queue is closed *and* drained. Closing is
+/// how a wire loop tells its workers "no more requests — finish and exit".
+template <class T>
+class ThreadSafeQueue {
+ public:
+  /// False (item dropped) when the queue is already closed.
+  bool push(T v) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(v));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed and
+  /// empty (false). Items pushed before close() are always delivered.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace perfdojo

@@ -12,13 +12,23 @@
 //   perfdojo fuzz      [--budget-sec N | --trajectories N] [--seed S]
 //                      [--kernel label] [--profile cpu|gpu|snitch]
 //                      [--corpus dir] [--replay file] [--out dir]
+//   perfdojo serve     --cache-dir dir [--shards N] [--workers N]
+//                      [--in file] [--out-file file]
+//                      # long-running tuning service: line-delimited JSON
+//                      # requests in (stdin or --in), responses out
+//   perfdojo client    --kernel mul --machine xeon [--method m] [--budget N]
+//                      [--count N] [--seed S]   # emit request lines
+//   perfdojo client    --cold cold.jsonl --warm warm.jsonl
+//                      # verify a warm re-serve against its cold run
 //
-// Exit status is non-zero on unknown kernels/machines/flags, and for `fuzz`
-// also when any oracle failure is found (or a corpus seed regresses).
+// Exit status is non-zero on unknown kernels/machines/flags and malformed
+// numeric flag values, and for `fuzz` also when any oracle failure is found
+// (or a corpus seed regresses).
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <string>
@@ -30,10 +40,12 @@
 #include "ir/printer.h"
 #include "kernels/kernels.h"
 #include "libgen/libgen.h"
+#include "libgen/server.h"
 #include "machines/machine.h"
 #include "rl/perfllm.h"
 #include "search/pass.h"
 #include "search/search.h"
+#include "support/numeric.h"
 #include "support/strings.h"
 #include "support/table.h"
 #include "support/telemetry.h"
@@ -63,9 +75,46 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
+/// Checked numeric flags: `--budget abc` or `--budget -5` must be a
+/// diagnostic and a nonzero exit, never a silent 0 (std::atoi) or an
+/// accepted negative. Throws Error, which main() reports and exits 1 on.
+std::int64_t flagInt(const Args& a, const std::string& key, std::int64_t def,
+                     std::int64_t lo, std::int64_t hi) {
+  auto it = a.flags.find(key);
+  if (it == a.flags.end()) return def;
+  std::int64_t v = 0;
+  if (!parseInt64(it->second, v) || v < lo || v > hi)
+    fail("invalid --" + key + " '" + it->second +
+         "': expected an integer in [" + std::to_string(lo) + ", " +
+         std::to_string(hi) + "]");
+  return v;
+}
+
+std::uint64_t flagSeed(const Args& a, const std::string& key,
+                       std::uint64_t def) {
+  auto it = a.flags.find(key);
+  if (it == a.flags.end()) return def;
+  std::uint64_t v = 0;
+  if (!parseUint64(it->second, v))
+    fail("invalid --" + key + " '" + it->second +
+         "': expected an unsigned integer");
+  return v;
+}
+
+double flagDouble(const Args& a, const std::string& key, double def, double lo,
+                  double hi) {
+  auto it = a.flags.find(key);
+  if (it == a.flags.end()) return def;
+  double v = 0;
+  if (!parseDouble(it->second, v) || !(v >= lo && v <= hi))
+    fail("invalid --" + key + " '" + it->second + "': expected a number in [" +
+         fmt(lo, 6) + ", " + fmt(hi, 6) + "]");
+  return v;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: perfdojo <list|show|optimize|profile|compare|libgen|fuzz> [flags]\n"
+               "usage: perfdojo <list|show|optimize|profile|compare|libgen|fuzz|serve|client> [flags]\n"
                "  --kernel <label>    (see `perfdojo list`)\n"
                "  --machine <name>    snitch | xeon | gh200 | mi300a\n"
                "  --method <m>        heuristic | search | rl | naive | greedy | best\n"
@@ -87,7 +136,18 @@ int usage() {
                "  --profile <p>       cpu | gpu | snitch (default: all)\n"
                "  --codegen <0|1>     1 runs the codegen oracle at every step\n"
                "  --corpus <dir>      re-run *.witness regression seeds first\n"
-               "  --replay <file>     re-execute one witness and exit\n");
+               "  --replay <file>     re-execute one witness and exit\n"
+               "serve flags (line-delimited JSON tuning service):\n"
+               "  --cache-dir <dir>   persistent schedule cache (\"\" = memory-only)\n"
+               "  --shards <n>        cache shard files (default 8)\n"
+               "  --workers <n>       concurrent tuning slots (default 4)\n"
+               "  --episodes <n>      default rl episodes per request\n"
+               "  --in <file>         read requests from <file> instead of stdin\n"
+               "  --out-file <file>   write responses to <file> instead of stdout\n"
+               "client flags:\n"
+               "  --kernel/--machine/--method/--budget/--seed --count <n>\n"
+               "                      emit <n> duplicate request lines on stdout\n"
+               "  --cold <f> --warm <f>  verify a warm re-serve against its cold run\n");
   return 2;
 }
 
@@ -146,7 +206,7 @@ int cmdOptimize(const Args& a) {
   const auto* m = needMachine(a);
   if (!k || !m) return 2;
   const auto method = a.get("method", "heuristic");
-  const int budget = std::atoi(a.get("budget", "300").c_str());
+  const int budget = static_cast<int>(flagInt(a, "budget", 300, 0, 1000000000));
   const auto trace = makeTrace(a);
   const ir::Program base = k->build();
   ir::Program tuned = base;
@@ -158,7 +218,7 @@ int cmdOptimize(const Args& a) {
   else if (method == "search") {
     search::SearchConfig sc;
     sc.budget = budget;
-    sc.threads = std::atoi(a.get("threads", "0").c_str());
+    sc.threads = static_cast<int>(flagInt(a, "threads", 0, 0, 4096));
     sc.use_cache = a.get("no-cache", "0") != "1";
     sc.use_delta = a.get("no-delta", "0") != "1";
     sc.telemetry = trace.get();
@@ -209,7 +269,7 @@ int cmdProfile(const Args& a) {
     return 2;
   }
   const std::size_t top_n =
-      static_cast<std::size_t>(std::atoi(a.get("top", "8").c_str()));
+      static_cast<std::size_t>(flagInt(a, "top", 8, 1, 1000000));
   const auto trace = makeTrace(a);
   const ir::Program base = k->build();
   const transform::History h = [&] {
@@ -292,6 +352,143 @@ int cmdLibgen(const Args& a) {
   return 0;
 }
 
+int cmdServe(const Args& a) {
+  libgen::ServeConfig sc;
+  sc.cache_dir = a.get("cache-dir");
+  sc.shards = static_cast<int>(flagInt(a, "shards", 8, 1, 4096));
+  sc.workers = static_cast<int>(flagInt(a, "workers", 4, 1, 256));
+  sc.defaults.search_budget =
+      static_cast<int>(flagInt(a, "budget", 300, 0, 1000000000));
+  sc.defaults.rl_episodes =
+      static_cast<int>(flagInt(a, "episodes", 60, 0, 1000000000));
+  sc.defaults.threads = static_cast<int>(flagInt(a, "threads", 1, 0, 4096));
+  const auto trace = makeTrace(a);
+  sc.telemetry = trace.get();
+  libgen::TuneServer server(sc);
+
+  std::ifstream fin;
+  std::istream* in = &std::cin;
+  if (const auto path = a.get("in"); !path.empty()) {
+    fin.open(path);
+    if (!fin.good()) {
+      std::fprintf(stderr, "serve: cannot open --in %s\n", path.c_str());
+      return 2;
+    }
+    in = &fin;
+  }
+  std::ofstream fout;
+  std::ostream* out = &std::cout;
+  if (const auto path = a.get("out-file"); !path.empty()) {
+    fout.open(path);
+    if (!fout.good()) {
+      std::fprintf(stderr, "serve: cannot open --out-file %s\n", path.c_str());
+      return 2;
+    }
+    out = &fout;
+  }
+
+  const auto n = libgen::runServe(server, *in, *out);
+  const auto st = server.stats();
+  const auto es = server.evalStats();
+  // One machine-parseable stats line on stderr: tests and operators read
+  // warm/tuned/dedupe counts and the machine-eval count off it.
+  std::fprintf(stderr,
+               "{\"type\":\"serve_stats\",\"requests\":%lld,\"errors\":%lld,"
+               "\"warm_hits\":%lld,\"tuning_runs\":%lld,\"dedupe_joins\":%lld,"
+               "\"store_errors\":%lld,\"eval_requests\":%lld,"
+               "\"machine_evals\":%lld}\n",
+               static_cast<long long>(st.requests),
+               static_cast<long long>(st.errors),
+               static_cast<long long>(st.warm_hits),
+               static_cast<long long>(st.tuning_runs),
+               static_cast<long long>(st.dedupe_joins),
+               static_cast<long long>(st.store_errors),
+               static_cast<long long>(es.requests),
+               static_cast<long long>(es.misses));
+  (void)n;
+  return st.errors == 0 ? 0 : 1;
+}
+
+/// Verify half of the client: pairs a cold response file with a warm re-serve
+/// of the same requests and checks the serve contract — every warm response
+/// is ok, flagged "warm", and bit-identical to its cold counterpart in
+/// recipe, modeled costs, evaluations and generated source.
+int clientVerify(const Args& a) {
+  auto load = [&](const std::string& path,
+                  std::map<std::string, libgen::TuneResponse>& out) {
+    std::ifstream f(path);
+    if (!f.good()) {
+      std::fprintf(stderr, "client: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::string line;
+    while (std::getline(f, line)) {
+      if (trim(line).empty()) continue;
+      libgen::TuneResponse r;
+      std::string err;
+      if (!libgen::parseTuneResponse(line, r, err)) {
+        std::fprintf(stderr, "client: %s: bad response line: %s\n",
+                     path.c_str(), err.c_str());
+        return false;
+      }
+      out[r.id] = std::move(r);
+    }
+    return true;
+  };
+  std::map<std::string, libgen::TuneResponse> cold, warm;
+  if (!load(a.get("cold"), cold) || !load(a.get("warm"), warm)) return 2;
+  if (cold.empty() || cold.size() != warm.size()) {
+    std::fprintf(stderr, "client: response sets differ in size (%zu vs %zu)\n",
+                 cold.size(), warm.size());
+    return 1;
+  }
+  int bad = 0;
+  for (const auto& [id, c] : cold) {
+    auto it = warm.find(id);
+    const auto complain = [&](const std::string& what) {
+      std::fprintf(stderr, "client: %s: %s\n", id.c_str(), what.c_str());
+      ++bad;
+    };
+    if (it == warm.end()) { complain("missing from warm run"); continue; }
+    const auto& w = it->second;
+    if (!c.ok) { complain("cold response not ok: " + c.error); continue; }
+    if (!w.ok) { complain("warm response not ok: " + w.error); continue; }
+    if (w.served != "warm") complain("warm run served '" + w.served + "'");
+    if (w.key != c.key) complain("request key changed");
+    if (w.recipe != c.recipe) complain("recipe differs");
+    if (w.source != c.source) complain("generated source differs");
+    if (w.tuned_runtime != c.tuned_runtime ||
+        w.baseline_runtime != c.baseline_runtime)
+      complain("modeled cost differs");
+    if (w.evaluations != c.evaluations) complain("evaluation count differs");
+  }
+  std::fprintf(stderr, "client: verified %zu warm responses, %d mismatches\n",
+               cold.size(), bad);
+  return bad == 0 ? 0 : 1;
+}
+
+int cmdClient(const Args& a) {
+  if (!a.get("cold").empty() || !a.get("warm").empty()) return clientVerify(a);
+  const auto kernel = a.get("kernel");
+  const auto machine = a.get("machine", "xeon");
+  if (kernel.empty()) {
+    std::fprintf(stderr, "client: --kernel is required\n");
+    return 2;
+  }
+  libgen::TuneRequest r;
+  r.kernel = kernel;
+  r.machine = machine;
+  r.optimizer = a.get("method", "heuristic");
+  r.budget = flagInt(a, "budget", -1, 0, 1000000000);
+  r.seed = flagSeed(a, "seed", 1);
+  const auto count = flagInt(a, "count", 1, 1, 1000000);
+  for (std::int64_t i = 0; i < count; ++i) {
+    r.id = "req-" + std::to_string(i);
+    std::printf("%s\n", libgen::requestToJson(r).c_str());
+  }
+  return 0;
+}
+
 void printOracleReport(const char* label, const fuzz::OracleReport& r) {
   if (r.ok)
     std::fprintf(stderr, "%s: ok\n", label);
@@ -304,10 +501,11 @@ int cmdFuzz(const Args& a) {
   fuzz::FuzzConfig cfg;
   const auto trace = makeTrace(a);
   cfg.telemetry = trace.get();
-  cfg.seed = std::strtoull(a.get("seed", "1").c_str(), nullptr, 10);
-  cfg.budget_sec = std::atof(a.get("budget-sec", "0").c_str());
-  cfg.trajectories = std::atoi(a.get("trajectories", "2").c_str());
-  cfg.max_steps = std::atoi(a.get("max-steps", "12").c_str());
+  cfg.seed = flagSeed(a, "seed", 1);
+  cfg.budget_sec = flagDouble(a, "budget-sec", 0, 0, 1e9);
+  cfg.trajectories =
+      static_cast<int>(flagInt(a, "trajectories", 2, 0, 1000000000));
+  cfg.max_steps = static_cast<int>(flagInt(a, "max-steps", 12, 1, 1000000));
   cfg.oracle.check_codegen = a.get("codegen", "0") == "1";
   cfg.codegen_final = a.get("codegen-final", "1") != "0";
   cfg.witness_dir = a.get("out", "");
@@ -367,6 +565,8 @@ int main(int argc, char** argv) {
     if (a.command == "compare") return cmdCompare(a);
     if (a.command == "libgen") return cmdLibgen(a);
     if (a.command == "fuzz") return cmdFuzz(a);
+    if (a.command == "serve") return cmdServe(a);
+    if (a.command == "client") return cmdClient(a);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

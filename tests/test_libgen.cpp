@@ -1,3 +1,4 @@
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -64,6 +65,73 @@ TEST(LibGen, SearchOptimizerRecordsBudget) {
 TEST(LibGen, OptimizerNames) {
   EXPECT_STREQ(optimizerName(Optimizer::None), "none");
   EXPECT_STREQ(optimizerName(Optimizer::PerfLLM), "perfllm");
+}
+
+TEST(LibGen, ManifestGuardsDegenerateRuntimes) {
+  // A zero or non-finite tuned runtime (degenerate cost model, unmeasured
+  // entry) used to print an "infx" / "nanx" speedup into the manifest.
+  Library lib;
+  lib.machine = "xeon";
+  LibraryEntry zero;
+  zero.label = "divzero";
+  zero.baseline_runtime = 1.0;
+  zero.tuned_runtime = 0.0;
+  LibraryEntry nonfinite;
+  nonfinite.label = "nank";
+  nonfinite.baseline_runtime = std::nan("");
+  nonfinite.tuned_runtime = 2.0;
+  LibraryEntry fine;
+  fine.label = "ok";
+  fine.baseline_runtime = 4.0;
+  fine.tuned_runtime = 2.0;
+  lib.entries = {zero, nonfinite, fine};
+  const std::string m = lib.manifest();
+  EXPECT_NE(m.find("divzero: 1s -> 0s (n/a, 0 evaluations)"),
+            std::string::npos) << m;
+  EXPECT_NE(m.find("nank:"), std::string::npos);
+  EXPECT_NE(m.find("ok: 4s -> 2s (2x, 0 evaluations)"), std::string::npos);
+  EXPECT_EQ(m.find("infx"), std::string::npos) << m;
+  EXPECT_EQ(m.find("nanx"), std::string::npos) << m;
+}
+
+TEST(LibGen, SharedCacheWarmsAcrossKernels) {
+  // Two labels over the same program (a reduction-family alias): the second
+  // kernel's baseline and tuned states must come out of the shared memo
+  // table. The heuristic arm used to bypass the cache entirely, so this
+  // asserts both that it is wired and that it pays off across kernels.
+  auto base = *kernels::findKernel("reducemean");
+  auto alias = base;
+  alias.label = "reducemean_alias";
+  const auto lib = generateLibrary({base, alias}, machines::xeon());
+  ASSERT_EQ(lib.entries.size(), 2u);
+  EXPECT_EQ(lib.entries[0].tuned_runtime, lib.entries[1].tuned_runtime);
+  EXPECT_GT(lib.cache_stats.requests, 0);
+  EXPECT_GE(lib.cache_stats.hits, 2);  // alias: baseline + tuned both warm
+  EXPECT_EQ(lib.cache_stats.hits + lib.cache_stats.misses,
+            lib.cache_stats.requests);
+}
+
+TEST(LibGen, PerfLLMArmRoutesThroughSharedCache) {
+  LibGenConfig cfg;
+  cfg.optimizer = Optimizer::PerfLLM;
+  cfg.rl_episodes = 6;
+  const auto lib =
+      generateLibrary({*kernels::findKernel("mul")}, machines::xeon(), cfg);
+  // RL revisits transformed states constantly; with the cache wired in, the
+  // episode loop must produce memo hits (it used to call m.evaluate raw).
+  EXPECT_GT(lib.cache_stats.requests, 0);
+  EXPECT_GT(lib.cache_stats.hits, 0);
+}
+
+TEST(LibGen, TuneOneMatchesGenerateLibraryEntry) {
+  const auto& k = *kernels::findKernel("softmax");
+  search::EvalCache cache;
+  const auto one = tuneOne(k, machines::xeon(), LibGenConfig{}, &cache);
+  const auto lib = generateLibrary({k}, machines::xeon());
+  ASSERT_EQ(lib.entries.size(), 1u);
+  EXPECT_EQ(one.recipe, lib.entries[0].recipe);
+  EXPECT_EQ(one.tuned_runtime, lib.entries[0].tuned_runtime);
+  EXPECT_EQ(one.source, lib.entries[0].source);
 }
 
 }  // namespace

@@ -1,0 +1,367 @@
+// The tuning server: wire format, warm-path persistence, in-flight dedupe,
+// and the shard store underneath it. Test names deliberately start with
+// Serve/Shard/Inflight so CI's TSan job picks them up.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "libgen/server.h"
+#include "search/diskstore.h"
+#include "search/inflight.h"
+#include "support/common.h"
+
+namespace perfdojo::libgen {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TuneRequest mulRequest(const std::string& id = "r0") {
+  TuneRequest r;
+  r.id = id;
+  r.kernel = "mul";
+  r.machine = "xeon";
+  r.optimizer = "heuristic";
+  return r;
+}
+
+TEST(ServeWire, RequestJsonRoundTrip) {
+  TuneRequest r;
+  r.id = "abc";
+  r.kernel = "softmax";
+  r.machine = "snitch";
+  r.optimizer = "search";
+  r.budget = 123;
+  r.seed = 99;
+  TuneRequest back;
+  std::string err;
+  ASSERT_TRUE(parseTuneRequest(requestToJson(r), back, err)) << err;
+  EXPECT_EQ(back.id, r.id);
+  EXPECT_EQ(back.kernel, r.kernel);
+  EXPECT_EQ(back.machine, r.machine);
+  EXPECT_EQ(back.optimizer, r.optimizer);
+  EXPECT_EQ(back.budget, r.budget);
+  EXPECT_EQ(back.seed, r.seed);
+}
+
+TEST(ServeWire, ResponseJsonRoundTripIsBitExact) {
+  TuneResponse r;
+  r.id = "abc";
+  r.ok = true;
+  r.kernel = "mul";
+  r.machine = "xeon";
+  r.optimizer = "heuristic";
+  r.served = "tuned";
+  r.key = 0xdeadbeefcafef00dULL;
+  r.recipe = "split_scope(@1, param=8)\nvectorize(@2)\n";
+  r.signature = "void perfdojo_mul(const float* x)";
+  r.source = "line1\n  \"quoted\"\nline3\n";
+  r.baseline_runtime = 0.1;          // not exactly representable: the
+  r.tuned_runtime = 6.1541e-05;      // round-trip must preserve the bits
+  r.evaluations = 42;
+  TuneResponse back;
+  std::string err;
+  ASSERT_TRUE(parseTuneResponse(responseToJson(r), back, err)) << err;
+  EXPECT_EQ(back.key, r.key);
+  EXPECT_EQ(back.recipe, r.recipe);
+  EXPECT_EQ(back.source, r.source);
+  EXPECT_EQ(back.baseline_runtime, r.baseline_runtime);
+  EXPECT_EQ(back.tuned_runtime, r.tuned_runtime);
+  EXPECT_EQ(back.evaluations, r.evaluations);
+  EXPECT_EQ(responseToJson(back), responseToJson(r));
+}
+
+TEST(ServeWire, RequestValidationRejectsMissingFields) {
+  TuneRequest r;
+  std::string err;
+  EXPECT_FALSE(parseTuneRequest("{\"machine\":\"xeon\"}", r, err));
+  EXPECT_NE(err.find("kernel"), std::string::npos);
+  EXPECT_FALSE(parseTuneRequest("{\"kernel\":\"mul\"}", r, err));
+  EXPECT_NE(err.find("machine"), std::string::npos);
+  EXPECT_FALSE(parseTuneRequest("not json at all", r, err));
+  EXPECT_FALSE(parseTuneRequest("[1,2,3]", r, err));
+}
+
+TEST(ServeHandle, UnknownNamesComeBackAsErrors) {
+  TuneServer server(ServeConfig{});
+  auto r = mulRequest();
+  r.kernel = "no_such_kernel";
+  auto resp = server.handle(r);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("unknown kernel"), std::string::npos);
+
+  r = mulRequest();
+  r.machine = "pdp11";
+  resp = server.handle(r);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("unknown machine"), std::string::npos);
+
+  r = mulRequest();
+  r.optimizer = "annealing";
+  resp = server.handle(r);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("unknown optimizer"), std::string::npos);
+
+  r = mulRequest();
+  r.budget = 2'000'000'000;
+  resp = server.handle(r);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("out of range"), std::string::npos);
+
+  EXPECT_EQ(server.stats().errors, 4);
+  EXPECT_EQ(server.stats().tuning_runs, 0);
+}
+
+TEST(ServeHandle, MemoryOnlyServerStillWarmsRepeats) {
+  TuneServer server(ServeConfig{});
+  EXPECT_EQ(server.store(), nullptr);
+  const auto first = server.handle(mulRequest("a"));
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.served, "tuned");
+  const auto second = server.handle(mulRequest("b"));
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(second.served, "warm");
+  EXPECT_EQ(second.id, "b");
+  EXPECT_EQ(second.recipe, first.recipe);
+  EXPECT_EQ(second.tuned_runtime, first.tuned_runtime);
+  EXPECT_EQ(server.stats().tuning_runs, 1);
+  EXPECT_EQ(server.stats().warm_hits, 1);
+}
+
+TEST(ServeHandle, BudgetIsNormalizedOutOfDeterministicKeys) {
+  // heuristic ignores the budget, so two different budgets must map to the
+  // same schedule-cache key (the second request is a warm hit).
+  TuneServer server(ServeConfig{});
+  auto a = mulRequest("a");
+  a.budget = 7;
+  auto b = mulRequest("b");
+  b.budget = 7000;
+  const auto ra = server.handle(a);
+  const auto rb = server.handle(b);
+  ASSERT_TRUE(ra.ok && rb.ok);
+  EXPECT_EQ(ra.key, rb.key);
+  EXPECT_EQ(rb.served, "warm");
+}
+
+TEST(ServeHandle, WarmAcrossRestartWithZeroEvaluations) {
+  const std::string dir = freshDir("pd_serve_restart");
+  ServeConfig cfg;
+  cfg.cache_dir = dir;
+  TuneResponse cold;
+  {
+    TuneServer server(cfg);
+    cold = server.handle(mulRequest());
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_EQ(cold.served, "tuned");
+    EXPECT_GT(server.evalStats().misses, 0);
+  }
+  // A fresh server process over the same cache dir: the schedule comes back
+  // bit-identical without a single machine-model evaluation.
+  TuneServer server(cfg);
+  const auto warm = server.handle(mulRequest());
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.served, "warm");
+  EXPECT_EQ(warm.key, cold.key);
+  EXPECT_EQ(warm.recipe, cold.recipe);
+  EXPECT_EQ(warm.source, cold.source);
+  EXPECT_EQ(warm.signature, cold.signature);
+  EXPECT_EQ(warm.baseline_runtime, cold.baseline_runtime);
+  EXPECT_EQ(warm.tuned_runtime, cold.tuned_runtime);
+  EXPECT_EQ(warm.evaluations, cold.evaluations);
+  EXPECT_EQ(server.evalStats().requests, 0);
+  EXPECT_EQ(server.evalStats().misses, 0);
+  EXPECT_EQ(server.stats().tuning_runs, 0);
+  EXPECT_EQ(server.stats().warm_hits, 1);
+}
+
+TEST(ServeHandle, ConcurrentDuplicatesCostOneTuningRun) {
+  const std::string dir = freshDir("pd_serve_dedupe");
+  ServeConfig cfg;
+  cfg.cache_dir = dir;
+  cfg.workers = 4;
+  // search is slow enough that duplicates genuinely overlap in flight.
+  TuneServer server(cfg);
+  std::vector<TuneRequest> batch;
+  for (int i = 0; i < 8; ++i) {
+    auto r = mulRequest("req-" + std::to_string(i));
+    r.optimizer = "search";
+    r.budget = 60;
+    batch.push_back(r);
+  }
+  const auto out = server.handleBatch(batch);
+  ASSERT_EQ(out.size(), batch.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_TRUE(out[i].ok) << out[i].error;
+    EXPECT_EQ(out[i].id, batch[i].id);
+    EXPECT_EQ(out[i].key, out[0].key);
+    EXPECT_EQ(out[i].recipe, out[0].recipe);
+    EXPECT_EQ(out[i].tuned_runtime, out[0].tuned_runtime);
+  }
+  const auto st = server.stats();
+  EXPECT_EQ(st.requests, 8);
+  EXPECT_EQ(st.tuning_runs, 1);
+  EXPECT_EQ(st.warm_hits + st.dedupe_joins, 7);
+  EXPECT_EQ(st.errors, 0);
+}
+
+TEST(ServeWireLoop, StreamsResponsesAndFlagsMalformedLines) {
+  std::stringstream in;
+  in << requestToJson(mulRequest("good")) << "\n"
+     << "   \n"                                  // blank: skipped, not counted
+     << "this is not json\n"
+     << "{\"kernel\":\"mul\"}\n";                // missing machine
+  std::stringstream out;
+  TuneServer server(ServeConfig{});
+  EXPECT_EQ(runServe(server, in, out), 3);
+
+  int ok = 0, bad = 0;
+  std::string line;
+  while (std::getline(out, line)) {
+    TuneResponse resp;
+    std::string err;
+    ASSERT_TRUE(parseTuneResponse(line, resp, err)) << err;
+    if (resp.ok) {
+      EXPECT_EQ(resp.id, "good");
+      ++ok;
+    } else {
+      EXPECT_NE(resp.error.find("malformed request"), std::string::npos);
+      ++bad;
+    }
+  }
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(bad, 2);
+  EXPECT_EQ(server.stats().requests, 3);
+  EXPECT_EQ(server.stats().errors, 2);
+}
+
+TEST(ShardStore, PutGetAndStats) {
+  search::ShardStore store(freshDir("pd_shard_basic"), 4);
+  std::string out;
+  EXPECT_FALSE(store.get(1, out));
+  store.put(1, "{\"v\":1}");
+  store.put(5, "{\"v\":5}");   // same shard as key 1 (5 % 4 == 1)
+  store.put(2, "{\"v\":2}");
+  ASSERT_TRUE(store.get(5, out));
+  EXPECT_EQ(out, "{\"v\":5}");
+  store.put(5, "{\"v\":55}");  // overwrite
+  ASSERT_TRUE(store.get(5, out));
+  EXPECT_EQ(out, "{\"v\":55}");
+  const auto st = store.stats();
+  EXPECT_EQ(st.puts, 4);
+  EXPECT_EQ(st.entries, 3u);
+  EXPECT_EQ(st.hits, 2);
+  EXPECT_EQ(st.gets, 3);
+  EXPECT_EQ(st.quarantined, 0);
+}
+
+TEST(ShardStore, PersistsAcrossReopen) {
+  const std::string dir = freshDir("pd_shard_reopen");
+  {
+    search::ShardStore store(dir, 3);
+    for (std::uint64_t k = 0; k < 50; ++k)
+      store.put(k * 0x9e3779b97f4a7c15ULL + 1, "{\"k\":" + std::to_string(k) + "}");
+  }
+  search::ShardStore store(dir, 3);
+  EXPECT_EQ(store.stats().entries, 50u);
+  std::string out;
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(store.get(k * 0x9e3779b97f4a7c15ULL + 1, out)) << k;
+    EXPECT_EQ(out, "{\"k\":" + std::to_string(k) + "}");
+  }
+}
+
+TEST(ShardStore, RejectsMultilineRecords) {
+  search::ShardStore store(freshDir("pd_shard_multiline"), 2);
+  EXPECT_THROW(store.put(7, "line1\nline2"), Error);
+}
+
+TEST(ShardStore, QuarantinesCorruptShardFiles) {
+  const std::string dir = freshDir("pd_shard_corrupt");
+  const std::uint64_t key = 4;  // shard 0 of 4
+  {
+    search::ShardStore store(dir, 4);
+    store.put(key, "{\"v\":4}");
+  }
+  {
+    // A crash or hand edit leaves a half-written line in the shard file.
+    std::ofstream f(dir + "/" + search::ShardStore::shardName(0),
+                    std::ios::app);
+    f << "deadbeef {truncated reco";
+  }
+  search::ShardStore store(dir, 4);
+  EXPECT_EQ(store.stats().quarantined, 1);
+  EXPECT_TRUE(fs::exists(dir + "/" + search::ShardStore::shardName(0) +
+                         ".corrupt"));
+  std::string out;
+  EXPECT_FALSE(store.get(key, out));  // the whole shard was dropped...
+  store.put(key, "{\"v\":4}");        // ...and the store keeps serving
+  ASSERT_TRUE(store.get(key, out));
+  search::ShardStore reopened(dir, 4);
+  EXPECT_EQ(reopened.stats().quarantined, 0);
+  EXPECT_TRUE(reopened.get(key, out));
+}
+
+TEST(ServeHandle, CorruptCacheDirIsSurvivable) {
+  // End to end: a corrupted shard must cost a re-tune, not a crash.
+  const std::string dir = freshDir("pd_serve_corrupt");
+  ServeConfig cfg;
+  cfg.cache_dir = dir;
+  std::uint64_t key = 0;
+  {
+    TuneServer server(cfg);
+    key = server.handle(mulRequest()).key;
+  }
+  {
+    const int shard = static_cast<int>(key % static_cast<std::uint64_t>(8));
+    std::ofstream f(dir + "/" + search::ShardStore::shardName(shard),
+                    std::ios::trunc);
+    f << "garbage\n";
+  }
+  TuneServer server(cfg);
+  ASSERT_NE(server.store(), nullptr);
+  EXPECT_EQ(server.store()->stats().quarantined, 1);
+  const auto resp = server.handle(mulRequest());
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.served, "tuned");  // re-tuned, then re-persisted
+  TuneServer again(cfg);
+  EXPECT_EQ(again.handle(mulRequest()).served, "warm");
+}
+
+TEST(InflightMap, FirstClaimOwnsLaterClaimsJoin) {
+  search::InflightMap<int> inflight;
+  auto a = inflight.claim(42);
+  EXPECT_TRUE(a.owner);
+  auto b = inflight.claim(42);
+  EXPECT_FALSE(b.owner);
+  EXPECT_TRUE(inflight.claim(43).owner);  // distinct keys are independent
+  EXPECT_EQ(inflight.size(), 2u);
+
+  std::thread waiter([&] { EXPECT_EQ(b.future.get(), 7); });
+  inflight.fulfill(42, 7);
+  waiter.join();
+  EXPECT_EQ(a.future.get(), 7);
+  EXPECT_EQ(inflight.size(), 1u);          // 42 retired, 43 still pending
+  EXPECT_TRUE(inflight.claim(42).owner);   // retired keys can be re-claimed
+}
+
+TEST(InflightMap, FailurePropagatesToEveryWaiter) {
+  search::InflightMap<int> inflight;
+  auto owner = inflight.claim(1);
+  ASSERT_TRUE(owner.owner);
+  auto joined = inflight.claim(1);
+  inflight.fail(1, std::make_exception_ptr(std::runtime_error("boom")));
+  EXPECT_THROW(joined.future.get(), std::runtime_error);
+  EXPECT_THROW(owner.future.get(), std::runtime_error);
+  EXPECT_EQ(inflight.size(), 0u);
+}
+
+}  // namespace
+}  // namespace perfdojo::libgen

@@ -1,12 +1,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <limits>
+#include <thread>
+#include <vector>
 
 #include "support/common.h"
+#include "support/io.h"
+#include "support/numeric.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/strings.h"
 #include "support/table.h"
+#include "support/threadsafe.h"
 
 namespace perfdojo {
 namespace {
@@ -109,6 +117,149 @@ TEST(Table, BarChart) {
 TEST(Hash, Fnv1aStable) {
   EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
   EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+}
+
+TEST(Numeric, ParseInt64IsStrict) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parseInt64("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parseInt64("-17", v));
+  EXPECT_EQ(v, -17);
+  EXPECT_TRUE(parseInt64("+5", v));
+  EXPECT_EQ(v, 5);
+  // Everything std::atoi silently mangles must be rejected outright.
+  EXPECT_FALSE(parseInt64("", v));
+  EXPECT_FALSE(parseInt64("abc", v));
+  EXPECT_FALSE(parseInt64("12abc", v));
+  EXPECT_FALSE(parseInt64("12 ", v));
+  EXPECT_FALSE(parseInt64(" 12", v));
+  EXPECT_FALSE(parseInt64("1.5", v));
+  EXPECT_FALSE(parseInt64("99999999999999999999999", v));  // overflow
+}
+
+TEST(Numeric, ParseUint64RejectsNegatives) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parseUint64("18446744073709551615", v));
+  EXPECT_EQ(v, 18446744073709551615ULL);
+  EXPECT_FALSE(parseUint64("-1", v));
+  EXPECT_FALSE(parseUint64("18446744073709551616", v));
+  EXPECT_FALSE(parseUint64("", v));
+}
+
+TEST(Numeric, ParseDoubleIsStrictAndLocaleFree) {
+  double v = 0;
+  EXPECT_TRUE(parseDouble("1.5e-3", v));
+  EXPECT_DOUBLE_EQ(v, 1.5e-3);
+  EXPECT_TRUE(parseDouble("-0.25", v));
+  EXPECT_DOUBLE_EQ(v, -0.25);
+  EXPECT_FALSE(parseDouble("", v));
+  EXPECT_FALSE(parseDouble("1,5", v));  // comma-decimal never accepted
+  EXPECT_FALSE(parseDouble("1.5x", v));
+  EXPECT_FALSE(parseDouble("nanx", v));
+}
+
+TEST(Numeric, ParseDoublePrefixConsumesLongestValidRun) {
+  const std::string s = "6.02e23, rest";
+  double v = 0;
+  EXPECT_EQ(parseDoublePrefix(s.data(), s.data() + s.size(), v), 7u);
+  EXPECT_DOUBLE_EQ(v, 6.02e23);
+  const std::string bad = "xyz";
+  EXPECT_EQ(parseDoublePrefix(bad.data(), bad.data() + bad.size(), v), 0u);
+}
+
+TEST(Numeric, FormatDoubleRoundTripsShortest) {
+  for (const double x : {0.1, 1.0 / 3.0, 6.1541e-05, -2.5, 0.0, 1e308}) {
+    double back = 0;
+    ASSERT_TRUE(parseDouble(formatDouble(x), back)) << formatDouble(x);
+    EXPECT_EQ(back, x);
+  }
+  EXPECT_EQ(formatDouble(0.1), "0.1");  // shortest form, not %.17g noise
+  EXPECT_EQ(formatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(formatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(formatDouble(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+TEST(Numeric, Hex64RoundTrip) {
+  EXPECT_EQ(formatHex64(0), "0000000000000000");
+  EXPECT_EQ(formatHex64(0xdeadbeefcafef00dULL), "deadbeefcafef00d");
+  std::uint64_t v = 0;
+  ASSERT_TRUE(parseHex64("deadbeefcafef00d", v));
+  EXPECT_EQ(v, 0xdeadbeefcafef00dULL);
+  EXPECT_FALSE(parseHex64("", v));
+  EXPECT_FALSE(parseHex64("xyz", v));
+  EXPECT_FALSE(parseHex64("11112222333344445", v));  // > 16 digits
+}
+
+TEST(IoWrite, ReportsStreamFailures) {
+  const std::string dir = ::testing::TempDir() + "/pd_io_test";
+  writeTextFile(dir + "_file.txt", "hello\n");  // plain file path works
+  EXPECT_EQ(readTextFile(dir + "_file.txt"), "hello\n");
+  // Unopenable path (a directory) must throw, not silently succeed.
+  EXPECT_THROW(writeTextFile("/", "x"), Error);
+  // A write that opens fine but cannot complete must also throw: /dev/full
+  // accepts the open and fails the flush.
+  if (std::filesystem::exists("/dev/full")) {
+    EXPECT_THROW(writeTextFile("/dev/full", std::string(1 << 20, 'x')), Error);
+  }
+}
+
+TEST(ThreadSafeMap, BasicOperations) {
+  ThreadSafeMap<int, std::string> m;
+  std::string out;
+  EXPECT_FALSE(m.get(1, out));
+  m.set(1, "one");
+  ASSERT_TRUE(m.get(1, out));
+  EXPECT_EQ(out, "one");
+  EXPECT_TRUE(m.setIfAbsent(2, "two"));
+  EXPECT_FALSE(m.setIfAbsent(2, "TWO"));  // losing writer does not overwrite
+  ASSERT_TRUE(m.get(2, out));
+  EXPECT_EQ(out, "two");
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.snapshot().size(), 1u);
+}
+
+TEST(ThreadSafeMap, ConcurrentSetIfAbsentElectsOneWriter) {
+  ThreadSafeMap<int, int> m;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t)
+    pool.emplace_back([&, t] {
+      for (int k = 0; k < 100; ++k)
+        if (m.setIfAbsent(k, t)) ++winners;
+    });
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(winners.load(), 100);  // exactly one winner per key
+  EXPECT_EQ(m.size(), 100u);
+}
+
+TEST(ThreadSafeQueue, DeliversEverythingThenDrainsOnClose) {
+  ThreadSafeQueue<int> q;
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> consumers;
+  for (int t = 0; t < 4; ++t)
+    consumers.emplace_back([&] {
+      int v;
+      while (q.pop(v)) {
+        sum += v;
+        ++popped;
+      }
+    });
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t)
+    producers.emplace_back([&] {
+      for (int i = 1; i <= 250; ++i) EXPECT_TRUE(q.push(i));
+    });
+  for (auto& th : producers) th.join();
+  q.close();
+  for (auto& th : consumers) th.join();
+  EXPECT_EQ(popped.load(), 1000);
+  EXPECT_EQ(sum.load(), 4LL * 250 * 251 / 2);
+  EXPECT_FALSE(q.push(5));  // closed queues drop new work
+  EXPECT_EQ(q.size(), 0u);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // kernel under all machine models, per-scope attribution sums to the total,
 // the trace stream is thread-count independent, and attributeHistory replays
 // a pass to the same final cost the pass reports.
+#include <clocale>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -10,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include "ir/canonical.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
 #include "kernels/kernels.h"
 #include "machines/machine.h"
 #include "search/pass.h"
@@ -99,6 +103,49 @@ TEST(Event, BuildersProduceParseableObjects) {
   ASSERT_NE(scopes, nullptr);
   EXPECT_DOUBLE_EQ(scopes->numberOr("/0:8", 0), 0.5);
   EXPECT_DOUBLE_EQ(scopes->numberOr("", 0), 0.25);
+}
+
+TEST(Json, RoundTripSurvivesCommaDecimalLocale) {
+  // The emitter and parser used to lean on printf/strtod, which honor
+  // LC_NUMERIC: under a comma-decimal locale every fractional number in a
+  // trace either serialized as "0,5" or parsed back truncated. Both sides
+  // now use locale-free charconv, so the round-trip must be bit-exact no
+  // matter what the host process set.
+  const char* old = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = old ? old : "C";
+  const char* chosen = nullptr;
+  for (const char* name : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8", "fr_FR"})
+    if (std::setlocale(LC_NUMERIC, name)) {
+      chosen = name;
+      break;
+    }
+  if (chosen) {
+    // Sanity: the locale really uses ',' — otherwise this proves nothing.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", 0.5);
+    EXPECT_STREQ(buf, "0,5") << chosen;
+  } else {
+    GTEST_LOG_(INFO) << "no comma-decimal locale installed; running in "
+                     << saved;
+  }
+  const Event e =
+      Event("t").num("half", 0.5).num("tiny", 6.1541e-05).num("third", 1.0 / 3.0);
+  const std::string json = e.json();
+  JsonValue v;
+  // A locale-leaky emitter would print "0,5" here, which fails the parse; a
+  // locale-leaky parser would truncate "0.5" at the '.'. Exact equality
+  // catches both.
+  ASSERT_TRUE(parseJson(json, v)) << json;
+  EXPECT_EQ(v.numberOr("half", 0), 0.5);
+  EXPECT_EQ(v.numberOr("tiny", 0), 6.1541e-05);
+  EXPECT_EQ(v.numberOr("third", 0), 1.0 / 3.0);
+  // The IR parser/printer pair (the other former strtod/printf site) must
+  // round-trip canonically under the same locale: printed constants feed
+  // canonicalHash, so a locale leak here silently splits memo tables.
+  const auto p = kernels::makeSoftmax(4, 16);
+  const auto back = ir::parseProgram(ir::printProgram(p));
+  EXPECT_EQ(ir::canonicalText(back), ir::canonicalText(p));
+  std::setlocale(LC_NUMERIC, saved.c_str());
 }
 
 TEST(Telemetry, InMemorySinkAccumulatesJsonl) {
