@@ -202,6 +202,30 @@ class CpuMachine final : public Machine {
     return std::max(t_mem, t_comp);
   }
 
+  double lowerBound(const Program& p) const override {
+    // Issue roofline: the analyzer charges >= mult/vw issue slots per op
+    // instance while an instance contributes <= 2*mult flops (fma), so
+    // compute cycles >= flops/(2*vw_eff) even at cores_used == cores, and
+    // evaluate() = max(compute, mem) + overhead >= that + call_overhead.
+    // vw_eff is the widest lane count any descendant can run at: the widest
+    // caps vector width, or a wider :v scope already present (vectorize only
+    // annotates un-annotated scopes, so existing widths never grow).
+    int vw_eff = 1;
+    for (int w : caps_.vector_widths) vw_eff = std::max(vw_eff, w);
+    std::vector<const Node*> stack{&p.root};
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      if (!n->isScope()) continue;
+      if (n->anno == LoopAnno::Vector)
+        vw_eff = std::max(vw_eff, static_cast<int>(n->extent));
+      for (const auto& c : n->children) stack.push_back(&c);
+    }
+    return static_cast<double>(p.flopCount()) /
+               (2.0 * vw_eff * cfg_.freq * cfg_.cores) +
+           cfg_.call_overhead;
+  }
+
  private:
   CpuConfig cfg_;
   transform::MachineCaps caps_;

@@ -270,6 +270,17 @@ class GpuMachine final : public Machine {
     return std::max(t_mem, t_comp);
   }
 
+  double lowerBound(const Program& p) const override {
+    // Compute roofline: device flops are only ever padded *up* to warp
+    // multiples and the utilization division only lengthens t_comp, so
+    // kernel_time >= device_flops/flops_peak; host-side ops issue at
+    // host_op_rate with >= 1 op per 2 flops and 2*host_op_rate is orders of
+    // magnitude below flops_peak, so host_time >= host_flops/flops_peak too.
+    // Summing both sides gives evaluate() >= flopCount()/flops_peak, and
+    // flopCount never shrinks under the transform library.
+    return static_cast<double>(p.flopCount()) / cfg_.flops_peak;
+  }
+
  private:
   GpuConfig cfg_;
   transform::MachineCaps caps_;

@@ -82,6 +82,22 @@ class Machine {
   /// Runtime of a perfect implementation (used for %-of-peak reporting).
   virtual double peakTime(const ir::Program& p) const = 0;
 
+  /// Admissible lower bound for the exact search tier: a cost that provably
+  /// never exceeds evaluate() — neither for `p` itself nor for any program
+  /// reachable from `p` through this machine's transformation library
+  /// (transform::allActions under caps()). Bounds are derived from the
+  /// model's peak roofline over quantities that transformations can only
+  /// preserve or grow (flop count, arithmetic instruction count), so
+  /// search::ExactTier may prune a state whenever lowerBound(state) is
+  /// already >= the best cost found: no descendant can beat it. The default
+  /// (0) is trivially admissible and prunes nothing; each in-tree model
+  /// overrides it with its provable floor. Same purity/re-entrancy contract
+  /// as evaluate().
+  virtual double lowerBound(const ir::Program& p) const {
+    (void)p;
+    return 0.0;
+  }
+
   double peakFraction(const ir::Program& p) const {
     const double t = evaluate(p);
     // A broken model must fail loudly here, not report "0% of peak".

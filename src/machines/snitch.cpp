@@ -254,6 +254,15 @@ class SnitchMachine final : public Machine {
     return static_cast<double>(std::max<std::int64_t>(instrCount(p), 1)) / kFreqHz;
   }
 
+  double lowerBound(const Program& p) const override {
+    // The fp stream charges one issue slot per non-Mov op instance no matter
+    // how well SSR/FREP strip the int stream, so fp_cycles >= instrCount and
+    // evaluate() >= instrCount/freq. No transform removes arithmetic ops
+    // (splits/joins preserve extent products, partial_reduce only adds combine
+    // ops), so the same floor holds for every descendant schedule.
+    return static_cast<double>(instrCount(p)) / kFreqHz;
+  }
+
  private:
   transform::MachineCaps caps_;
 };

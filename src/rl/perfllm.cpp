@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "search/evalcache.h"
+#include "search/search.h"
 #include "support/common.h"
 #include "support/telemetry.h"
 
@@ -88,6 +89,17 @@ PerfLLMResult optimizeKernel(const ir::Program& kernel,
   res.best_runtime = env.bestRuntime();
   res.evals = env.evals();
   res.dqn_updates = agent.updates();
+  if (cfg.telemetry)
+    // The RL tier always runs its full episode budget — it has no stall or
+    // exhaustive-enumeration exits — but the trace-wide contract is that
+    // every tier's end event names its termination reason.
+    cfg.telemetry->emit(
+        Event("rl_end")
+            .str("reason", search::terminationReasonName(
+                     search::TerminationReason::BudgetExhausted))
+            .integer("episodes", cfg.episodes)
+            .num("best_runtime", res.best_runtime)
+            .integer("evals", res.evals));
   return res;
 }
 

@@ -33,6 +33,18 @@ const char* spaceStructureName(SpaceStructure s) {
   return s == SpaceStructure::Edges ? "edges" : "heuristic";
 }
 
+const char* terminationReasonName(TerminationReason r) {
+  switch (r) {
+    case TerminationReason::BudgetExhausted:
+      return "budget_exhausted";
+    case TerminationReason::SpaceExhausted:
+      return "space_exhausted";
+    case TerminationReason::Stall:
+      return "stall";
+  }
+  return "unknown";
+}
+
 bool saAccept(double delta, double temp, Rng& rng) {
   if (delta <= 0) return true;
   // A NaN delta fails `delta <= 0` and would silently feed exp(-NaN) below;
@@ -200,6 +212,8 @@ struct Tracker {
   int evals = 0;
   int budget;
   std::int64_t nonfinite = 0;  // recorded evaluations with NaN/inf cost
+  /// Drivers downgrade this to Stall when they give up before the budget.
+  TerminationReason reason = TerminationReason::BudgetExhausted;
   Telemetry* sink = nullptr;   // optional; record() runs on the decision
                                // thread only, so the event order is fixed
 
@@ -345,6 +359,7 @@ void randomSamplingEdges(const ir::Program& kernel,
     }
   }
   batch.flush();
+  if (!tr.exhausted()) tr.reason = TerminationReason::Stall;
 }
 
 void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
@@ -380,7 +395,10 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
       actions = transform::allActions(cur, m.caps());
       action_cost.assign(actions.size(), kPendingRuntime);
       if (use_delta) dctx.bind(cur);
-      if (actions.empty()) break;  // nothing applicable at the root: done
+      if (actions.empty()) {
+        tr.reason = TerminationReason::Stall;
+        break;  // nothing applicable at the root: done
+      }
       continue;
     }
     const std::size_t ai = rng.uniform(actions.size());
@@ -552,6 +570,7 @@ void randomSamplingHeuristic(const ir::Program& kernel,
     }
   }
   batch.flush();
+  if (!tr.exhausted()) tr.reason = TerminationReason::Stall;
 }
 
 void annealingHeuristic(const ir::Program& kernel, const machines::Machine& m,
@@ -610,6 +629,7 @@ void annealingHeuristic(const ir::Program& kernel, const machines::Machine& m,
     }
     temp *= cfg.sa_decay;  // decays once per recorded evaluation
   }
+  if (!tr.exhausted()) tr.reason = TerminationReason::Stall;
 }
 
 }  // namespace
@@ -649,6 +669,7 @@ SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
   r.best = std::move(tr.best);
   r.best_runtime = tr.best_runtime;
   r.evals = tr.evals;
+  r.reason = tr.reason;
   r.trace = std::move(tr.trace);
   ev.fillStats(r.stats);
   r.stats.nonfinite_rejected = tr.nonfinite;
@@ -662,6 +683,7 @@ SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
     // per-event split is thread-schedule dependent, the totals are not.
     cfg.telemetry->emit(Event("search_end")
                             .num("best_runtime", r.best_runtime)
+                            .str("reason", terminationReasonName(r.reason))
                             .integer("evals", r.evals)
                             .integer("cache_hits", r.stats.cache_hits)
                             .integer("machine_evals", r.stats.machine_evals)

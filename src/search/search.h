@@ -33,6 +33,17 @@ enum class SpaceStructure { Edges, Heuristic };
 const char* searchMethodName(SearchMethod m);
 const char* spaceStructureName(SpaceStructure s);
 
+/// Why a search run stopped. Budget exhaustion is the normal ending for the
+/// stochastic tiers; space exhaustion is the exact tier's certificate-grade
+/// ending (every reachable state within the depth bound was enumerated);
+/// stall means the tier ran out of applicable or replayable proposals before
+/// spending its budget (dead-end kernel, barren mutation streak).
+enum class TerminationReason { BudgetExhausted, SpaceExhausted, Stall };
+
+/// Stable telemetry/CLI spelling: "budget_exhausted" | "space_exhausted" |
+/// "stall".
+const char* terminationReasonName(TerminationReason r);
+
 struct SearchConfig {
   SearchMethod method = SearchMethod::SimulatedAnnealing;
   SpaceStructure structure = SpaceStructure::Heuristic;
@@ -84,6 +95,8 @@ struct SearchResult {
   /// Best-so-far runtime after each evaluation (the convergence curves of
   /// Figure 12).
   std::vector<double> trace;
+  /// Why the run stopped (also emitted as `reason` on the search_end event).
+  TerminationReason reason = TerminationReason::BudgetExhausted;
   SearchStats stats;
 };
 

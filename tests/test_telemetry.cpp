@@ -339,11 +339,58 @@ TEST(Telemetry, SearchEmitsBeginEvalsEnd) {
   EXPECT_DOUBLE_EQ(last.numberOr("best_runtime", -1), r.best_runtime);
   EXPECT_DOUBLE_EQ(last.numberOr("evals", -1),
                    static_cast<double>(r.evals));
+  // Every search_end names its termination reason; a 40-eval budget on a
+  // kernel with hundreds of neighbors is spent in full.
+  EXPECT_EQ(last.stringOr("reason", ""), "budget_exhausted");
+  EXPECT_EQ(last.stringOr("reason", ""),
+            search::terminationReasonName(r.reason));
   // One search_eval line per recorded evaluation.
   std::int64_t evals = 0;
   for (const auto& l : ls)
     if (l.find("\"type\":\"search_eval\"") != std::string::npos) ++evals;
   EXPECT_EQ(evals, static_cast<std::int64_t>(r.evals));
+}
+
+TEST(Telemetry, TerminationReasonSpellingsAreStable) {
+  // Trace consumers grep for these strings; they are part of the JSONL
+  // contract shared by search_end, exact_end and rl_end.
+  using search::TerminationReason;
+  using search::terminationReasonName;
+  EXPECT_STREQ(terminationReasonName(TerminationReason::BudgetExhausted),
+               "budget_exhausted");
+  EXPECT_STREQ(terminationReasonName(TerminationReason::SpaceExhausted),
+               "space_exhausted");
+  EXPECT_STREQ(terminationReasonName(TerminationReason::Stall), "stall");
+}
+
+TEST(Telemetry, EverySearchTierRunEndsWithAReason) {
+  // All four stochastic tier configurations must close their trace with a
+  // search_end carrying a known reason value.
+  const auto p = kernels::makeSoftmax(4, 16);
+  for (const auto method :
+       {search::SearchMethod::RandomSampling,
+        search::SearchMethod::SimulatedAnnealing}) {
+    for (const auto structure :
+         {search::SpaceStructure::Edges, search::SpaceStructure::Heuristic}) {
+      Telemetry sink;
+      search::SearchConfig cfg;
+      cfg.method = method;
+      cfg.structure = structure;
+      cfg.budget = 25;
+      cfg.telemetry = &sink;
+      (void)search::runSearch(p, machines::snitch(), cfg);
+      const auto ls = lines(sink.buffered());
+      ASSERT_FALSE(ls.empty());
+      JsonValue last;
+      ASSERT_TRUE(parseJson(ls.back(), last));
+      ASSERT_EQ(last.stringOr("type", ""), "search_end");
+      const std::string reason = last.stringOr("reason", "");
+      EXPECT_TRUE(reason == "budget_exhausted" ||
+                  reason == "space_exhausted" || reason == "stall")
+          << search::searchMethodName(method) << "/"
+          << search::spaceStructureName(structure) << ": '" << reason << "'";
+    }
+  }
 }
 
 }  // namespace
