@@ -1,0 +1,214 @@
+// End-to-end candidate-throughput benchmark for the tuning hot path.
+//
+// Runs the edges-structure annealing search over two deep-tree Table-3
+// kernels twice:
+//
+//   modern — the shipping pipeline: memo table + arena-backed delta hashing
+//            + batched neighbor priming (SearchConfig defaults)
+//   legacy — the minimal copy pipeline: the same memo table, but every
+//            candidate priced by apply-copying the tree and re-rendering its
+//            canonical text (use_delta/use_arena/batch_neighbors off)
+//
+// What this gate means: end-to-end throughput on the in-tree analytic models
+// is dominated by neighbor enumeration (transform::allActions per accepted
+// state) and per-acceptance rebinds, not by pricing — so the modern stack's
+// per-candidate pricing win (gated at >= 5x by bench_micro_hash) shows up
+// here as *bounded overhead*, not as a wall-clock multiple. The gated metric
+// is that bound: modern_wall / legacy_wall may not drift above the
+// checked-in ratio by more than the band. A pricing-stack regression (a
+// rebind that went quadratic, a probe that started re-rendering, priming
+// running away) lands directly on this ratio, and a ratio of two same-host
+// timings is host-speed independent, so a slow CI runner cannot fake a pass
+// or a fail.
+//
+// Timing discipline (the same warmup + median-of-N the hash microbench
+// uses): one warm-up run per pipeline, then the median wall of kReps
+// interleaved repetitions. Every repetition is bit-identical in results —
+// the pipelines differ only in how candidates are priced — so medians
+// compare like with like.
+//
+//   bench_candidates [--out BENCH_candidates.json]
+//                    [--check bench/BENCH_candidates_baseline.json]
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "machines/machine.h"
+#include "search/search.h"
+#include "support/telemetry.h"
+
+namespace perfdojo {
+namespace {
+
+constexpr int kReps = 5;
+constexpr int kBudget = 2000;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2;
+}
+
+search::SearchConfig modernConfig() {
+  search::SearchConfig cfg;
+  cfg.method = search::SearchMethod::SimulatedAnnealing;
+  cfg.structure = search::SpaceStructure::Edges;
+  cfg.budget = kBudget;
+  cfg.max_steps = 64;  // deep walks: realistic tree sizes for the rehash
+  cfg.seed = 7;
+  cfg.threads = 1;  // cost of the pricing path itself, not pool scheduling
+  return cfg;       // cache + delta + arena + batching: the defaults
+}
+
+search::SearchConfig legacyConfig() {
+  auto cfg = modernConfig();
+  cfg.use_delta = false;  // memo stays on; pricing falls back to apply-copy
+  cfg.use_arena = false;
+  cfg.batch_neighbors = false;
+  return cfg;
+}
+
+struct Measurement {
+  std::vector<std::string> kernels;
+  std::int64_t candidates = 0;  // per pipeline, summed over kernels
+  double modern_ms = 0;         // median wall, summed over kernels
+  double legacy_ms = 0;
+  double modern_cps() const {
+    return modern_ms > 0 ? 1e3 * static_cast<double>(candidates) / modern_ms
+                         : 0;
+  }
+  double legacy_cps() const {
+    return legacy_ms > 0 ? 1e3 * static_cast<double>(candidates) / legacy_ms
+                         : 0;
+  }
+  /// Modern wall over legacy wall: the bounded cost of the pricing stack on
+  /// analytic models. Lower is better; 1.0 is parity.
+  double overhead() const {
+    return legacy_ms > 0 && modern_ms > 0 ? modern_ms / legacy_ms : 0;
+  }
+};
+
+Measurement measure() {
+  Measurement mm;
+  // Deep-tree kernels: schedules add splits/annotations, so these are the
+  // realistic tree sizes whose candidate pricing dominates a tuning run.
+  mm.kernels = {"softmax", "layernorm_1"};
+  const auto& m = machines::xeon();
+  for (const auto& label : mm.kernels) {
+    const auto* k = kernels::findKernel(label);
+    if (!k) {
+      std::fprintf(stderr, "unknown kernel %s\n", label.c_str());
+      std::exit(2);
+    }
+    const ir::Program p = k->build();
+    const auto modern_cfg = modernConfig();
+    const auto legacy_cfg = legacyConfig();
+    // Warm-up both pipelines, and take the candidate count from the warm-up
+    // (bit-identical across reps and pipelines by the determinism contract).
+    const auto warm_modern = search::runSearch(p, m, modern_cfg);
+    const auto warm_legacy = search::runSearch(p, m, legacy_cfg);
+    if (warm_modern.stats.evals_requested !=
+            warm_legacy.stats.evals_requested ||
+        warm_modern.best_runtime != warm_legacy.best_runtime) {
+      std::fprintf(stderr, "pipeline divergence on %s: %lld vs %lld evals\n",
+                   label.c_str(),
+                   static_cast<long long>(warm_modern.stats.evals_requested),
+                   static_cast<long long>(warm_legacy.stats.evals_requested));
+      std::exit(2);
+    }
+    mm.candidates += warm_modern.stats.evals_requested;
+
+    std::vector<double> modern_s, legacy_s;
+    for (int rep = 0; rep < kReps; ++rep) {
+      modern_s.push_back(search::runSearch(p, m, modern_cfg).stats.wall_ms);
+      legacy_s.push_back(search::runSearch(p, m, legacy_cfg).stats.wall_ms);
+    }
+    mm.modern_ms += median(modern_s);
+    mm.legacy_ms += median(legacy_s);
+  }
+  return mm;
+}
+
+std::string toJson(const Measurement& m) {
+  std::ostringstream os;
+  os << "{\"kernels\":[";
+  for (std::size_t i = 0; i < m.kernels.size(); ++i)
+    os << (i ? "," : "") << '"' << m.kernels[i] << '"';
+  os << "],\"candidates\":" << m.candidates
+     << ",\"modern_wall_ms\":" << m.modern_ms
+     << ",\"legacy_wall_ms\":" << m.legacy_ms
+     << ",\"modern_candidates_per_sec\":" << m.modern_cps()
+     << ",\"legacy_candidates_per_sec\":" << m.legacy_cps()
+     << ",\"overhead_ratio\":" << m.overhead() << "}\n";
+  return os.str();
+}
+
+int check(const Measurement& m, const std::string& baseline_path) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  JsonValue doc;
+  std::string err;
+  if (!parseJson(ss.str(), doc, &err)) {
+    std::fprintf(stderr, "malformed baseline %s: %s\n", baseline_path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  const double base = doc.numberOr("overhead_ratio", 0);
+  if (base <= 0) {
+    std::fprintf(stderr, "baseline %s lacks overhead_ratio\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  // The modern stack may not drift more than 25% above the checked-in
+  // overhead ratio, with an absolute allowance of 1.30x so a near-parity
+  // baseline does not turn run-to-run noise into failures.
+  const double limit = base * 1.25 > 1.30 ? base * 1.25 : 1.30;
+  std::printf("check: measured overhead %.2fx vs baseline %.2fx "
+              "(limit %.2fx)\n",
+              m.overhead(), base, limit);
+  if (m.overhead() > limit) {
+    std::fprintf(stderr,
+                 "FAIL: candidate pricing overhead regressed: %.2fx > %.2fx\n",
+                 m.overhead(), limit);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace perfdojo
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_candidates.json";
+  std::string baseline;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key == "--out") out = argv[i + 1];
+    else if (key == "--check") baseline = argv[i + 1];
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", key.c_str());
+      return 2;
+    }
+  }
+  const auto m = perfdojo::measure();
+  std::printf("candidates=%lld (per pipeline, %zu kernels)\n",
+              static_cast<long long>(m.candidates), m.kernels.size());
+  std::printf("modern  %10.1f ms  %12.0f candidates/sec\n", m.modern_ms,
+              m.modern_cps());
+  std::printf("legacy  %10.1f ms  %12.0f candidates/sec\n", m.legacy_ms,
+              m.legacy_cps());
+  std::printf("overhead %.2fx (modern wall / legacy wall)\n", m.overhead());
+  const std::string json = perfdojo::toJson(m);
+  std::ofstream(out) << json;
+  std::printf("wrote %s: %s", out.c_str(), json.c_str());
+  return baseline.empty() ? 0 : perfdojo::check(m, baseline);
+}

@@ -1,10 +1,18 @@
 // Microbenchmark for the incremental canonical-hash machinery. Measures the
-// per-candidate cost of pricing a neighbor's identity two ways on the
+// per-candidate cost of pricing a neighbor's identity three ways on the
 // largest (deepest-tree) Table-3 kernel after a heuristic schedule:
 //
-//   full   — the legacy copy path: q = action.apply(p); canonicalHash(q)
-//   delta  — DeltaContext::neighborHash: in-place apply, incremental update,
-//            undo (what the edges-annealer and graph expansion now do)
+//   full         — the legacy copy path: q = action.apply(p); canonicalHash(q)
+//   delta        — DeltaContext::neighborHash on the arena backend: in-place
+//                  apply, splice probe over the SoA line slab, watermark undo
+//                  (what the edges-annealer and graph expansion do)
+//   delta-noarena — the same walk on the per-node line-cache backend the
+//                  arena replaced (the --no-arena escape hatch)
+//
+// Timing discipline: one warm-up sweep, then the median of kReps interleaved
+// repetitions per path. A single wall-clock run flakes under CI noise (a
+// preempted rep reads arbitrarily slow); the median of several short reps is
+// stable, and interleaving the paths exposes both to the same load.
 //
 // Emits BENCH_hash.json. With `--check <baseline.json>` it additionally
 // compares the measured speedup against the checked-in baseline and fails
@@ -12,6 +20,7 @@
 // timings on the same machine, so the gate is host-speed independent.
 //
 //   bench_micro_hash [--out BENCH_hash.json] [--check bench/BENCH_hash_baseline.json]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -34,8 +43,16 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+constexpr int kReps = 5;
+
 double nsPer(Clock::time_point t0, Clock::time_point t1, int iters) {
   return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2;
 }
 
 /// The deepest scheduled Table-3 program: schedules add splits/annotations,
@@ -60,8 +77,9 @@ struct Measurement {
   std::size_t nodes = 0;
   std::size_t actions = 0;
   int candidates = 0;
-  double full_ns = 0;   // per candidate, copy path
-  double delta_ns = 0;  // per candidate, incremental path
+  double full_ns = 0;          // per candidate, copy path
+  double delta_ns = 0;         // per candidate, incremental path (arena)
+  double delta_noarena_ns = 0; // per candidate, line-cache backend
   double speedup() const { return delta_ns > 0 ? full_ns / delta_ns : 0; }
 };
 
@@ -74,38 +92,48 @@ Measurement measure() {
   const int iters = 2000;
   mm.candidates = iters;
 
-  // Warm-up both paths (page in code, populate allocator caches).
   search::DeltaContext dctx;
+  dctx.setUseArena(true);
   dctx.bind(p);
+  search::DeltaContext dctx_noarena;
+  dctx_noarena.setUseArena(false);
+  dctx_noarena.bind(p);
+
+  // Warm-up all paths (page in code, populate allocator caches).
   std::uint64_t sink = 0;
   for (std::size_t i = 0; i < actions.size(); ++i) {
     sink ^= ir::canonicalHash(actions[i].apply(p));
     sink ^= dctx.neighborHash(actions[i]);
+    sink ^= dctx_noarena.neighborHash(actions[i]);
   }
 
-  // Best-of-3 per path: the minimum is the least-noise estimate of the true
-  // cost on a shared machine.
-  double full_best = 0, delta_best = 0;
-  for (int rep = 0; rep < 3; ++rep) {
+  // Median of kReps interleaved repetitions per path.
+  std::vector<double> full_s, delta_s, noarena_s;
+  for (int rep = 0; rep < kReps; ++rep) {
     auto t0 = Clock::now();
     for (int i = 0; i < iters; ++i) {
       const auto& a = actions[i % actions.size()];
       sink ^= ir::canonicalHash(a.apply(p));
     }
     auto t1 = Clock::now();
-    const double full = nsPer(t0, t1, iters);
-    if (rep == 0 || full < full_best) full_best = full;
+    full_s.push_back(nsPer(t0, t1, iters));
 
     t0 = Clock::now();
     for (int i = 0; i < iters; ++i)
       sink ^= dctx.neighborHash(actions[i % actions.size()]);
     t1 = Clock::now();
-    const double delta = nsPer(t0, t1, iters);
-    if (rep == 0 || delta < delta_best) delta_best = delta;
+    delta_s.push_back(nsPer(t0, t1, iters));
+
+    t0 = Clock::now();
+    for (int i = 0; i < iters; ++i)
+      sink ^= dctx_noarena.neighborHash(actions[i % actions.size()]);
+    t1 = Clock::now();
+    noarena_s.push_back(nsPer(t0, t1, iters));
   }
   if (sink == 42) std::fprintf(stderr, " ");  // defeat dead-code elimination
-  mm.full_ns = full_best;
-  mm.delta_ns = delta_best;
+  mm.full_ns = median(full_s);
+  mm.delta_ns = median(delta_s);
+  mm.delta_noarena_ns = median(noarena_s);
   return mm;
 }
 
@@ -115,6 +143,7 @@ std::string toJson(const Measurement& m) {
      << ",\"actions\":" << m.actions << ",\"candidates\":" << m.candidates
      << ",\"full_ns_per_candidate\":" << m.full_ns
      << ",\"delta_ns_per_candidate\":" << m.delta_ns
+     << ",\"delta_noarena_ns_per_candidate\":" << m.delta_noarena_ns
      << ",\"speedup\":" << m.speedup() << "}\n";
   return os.str();
 }
@@ -170,10 +199,12 @@ int main(int argc, char** argv) {
   const auto m = perfdojo::measure();
   std::printf("kernel=%s nodes=%zu actions=%zu\n", m.kernel.c_str(), m.nodes,
               m.actions);
-  std::printf("full   %10.1f ns/candidate (apply-copy + full re-render)\n",
+  std::printf("full          %10.1f ns/candidate (apply-copy + full re-render)\n",
               m.full_ns);
-  std::printf("delta  %10.1f ns/candidate (in-place + incremental + undo)\n",
+  std::printf("delta (arena) %10.1f ns/candidate (in-place + splice probe + undo)\n",
               m.delta_ns);
+  std::printf("delta (cache) %10.1f ns/candidate (line-cache backend)\n",
+              m.delta_noarena_ns);
   std::printf("speedup %.2fx\n", m.speedup());
   const std::string json = perfdojo::toJson(m);
   std::ofstream(out) << json;

@@ -6,8 +6,10 @@
 #include <optional>
 #include <set>
 
+#include "ir/canonical.h"
 #include "ir/incremental.h"
 #include "kernels/kernels.h"
+#include "search/delta.h"
 #include "support/common.h"
 #include "support/rng.h"
 #include "support/telemetry.h"
@@ -49,8 +51,45 @@ OracleOptions restrictTo(const OracleOptions& opts, OracleLayer layer) {
   o.check_roundtrip = layer == OracleLayer::RoundTrip;
   o.check_incremental = layer == OracleLayer::IncHash;
   o.check_cache = layer == OracleLayer::Cache;
+  o.check_arena = layer == OracleLayer::ArenaDelta;
   o.check_codegen = layer == OracleLayer::Codegen;
   return o;
+}
+
+/// The arena-vs-heap delta oracle: price the (base, action) pair through
+/// BOTH DeltaContext backends and demand bit-identity with the full
+/// copy-based canonical hash of the applied result. `full_hash` is the
+/// caller's already-computed canonicalHash(action.apply(base)).
+OracleReport checkArenaDelta(const ir::Program& base,
+                             const transform::Action& a,
+                             std::uint64_t full_hash,
+                             std::size_t step_index) {
+  OracleReport r;
+  for (const bool use_arena : {true, false}) {
+    search::DeltaContext dctx;
+    dctx.setUseArena(use_arena);
+    dctx.bind(base);
+    std::uint64_t h = 0;
+    std::string what;
+    try {
+      h = dctx.neighborHash(a);
+    } catch (const Error& e) {
+      // The copy-based apply succeeded (full_hash exists), so an in-place
+      // refusal is a backend divergence, not an apply-layer finding.
+      what = std::string("neighborHash threw: ") + e.what();
+    }
+    if (what.empty() && h == full_hash) continue;
+    r.ok = false;
+    r.layer = OracleLayer::ArenaDelta;
+    r.detail = "step " + std::to_string(step_index) + " (" +
+               (use_arena ? "arena" : "line-cache") + " backend): " +
+               (what.empty() ? "delta hash " + std::to_string(h) +
+                                   " != full canonical hash " +
+                                   std::to_string(full_hash)
+                             : what);
+    return r;
+  }
+  return r;
 }
 
 /// Replays `steps` and runs the oracle on the result; replay failures come
@@ -66,6 +105,8 @@ OracleReport reportForSteps(const ir::Program& original,
   ir::IncrementalCanonical inc;
   inc.rebuild(q);
   for (std::size_t i = 0; i < steps.size(); ++i) {
+    std::optional<ir::Program> base;
+    if (opts.check_arena) base.emplace(q);  // pre-apply state for the oracle
     ir::MutationSummary mut;
     try {
       steps[i].transform->applyInPlace(q, steps[i].loc, &mut);
@@ -73,6 +114,11 @@ OracleReport reportForSteps(const ir::Program& original,
       return applyFailure(i, e.what());
     }
     inc.update(q, mut);
+    if (base) {
+      const auto r = checkArenaDelta(
+          *base, {steps[i].transform, steps[i].loc}, ir::canonicalHash(q), i);
+      if (!r.ok) return r;
+    }
   }
   search::EvalCache cache;
   const std::uint64_t h = inc.hash();
@@ -118,6 +164,13 @@ TrajectoryOutcome walkOne(const ir::Program& original, const CapsProfile& prof,
     const std::uint64_t h = inc.hash();
     out.report = checkOracle(original, q, *prof.machine, &cache, opts, &h);
     if (!out.report.ok) return out;
+    if (opts.check_arena) {
+      // Arena-vs-heap layer: the same walk, priced through both delta
+      // backends, must produce the hash the copy path just produced.
+      out.report = checkArenaDelta(p, a, ir::canonicalHash(q),
+                                   out.steps.size() - 1);
+      if (!out.report.ok) return out;
+    }
     p = std::move(q);
   }
   if (cfg.codegen_final && !opts.check_codegen && !out.steps.empty()) {

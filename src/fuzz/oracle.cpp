@@ -19,6 +19,7 @@ const char* oracleLayerName(OracleLayer l) {
     case OracleLayer::RoundTrip: return "roundtrip";
     case OracleLayer::IncHash: return "incremental-hash";
     case OracleLayer::Cache: return "cache";
+    case OracleLayer::ArenaDelta: return "arena-delta";
     case OracleLayer::Codegen: return "codegen";
   }
   return "?";

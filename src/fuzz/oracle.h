@@ -18,6 +18,13 @@
 //   cache      — EvalCache::selfCheck: full-render vs incremental-rebuild
 //                hash agreement and memoized cost vs a fresh machine-model
 //                evaluation
+//   arena-delta — search::DeltaContext prices each walk step's (base,
+//                action) pair through BOTH canonical-form backends — the
+//                arena and the per-node line cache — and both must agree
+//                bit-for-bit with ir::canonicalHash(action.apply(base)).
+//                A divergence means delta-hashed search would key the memo
+//                table wrong under one backend (checked by the fuzz walk
+//                and by runWitness during replay, like the apply layer)
 //   codegen    — compiled generateC() output agrees with the interpreter on
 //                the same random inputs (expensive: invokes the system C
 //                compiler; the fuzzer runs it on trajectory endpoints)
@@ -34,7 +41,7 @@
 namespace perfdojo::fuzz {
 
 enum class OracleLayer { None, Apply, Interp, RoundTrip, IncHash, Cache,
-                         Codegen };
+                         ArenaDelta, Codegen };
 
 const char* oracleLayerName(OracleLayer l);
 
@@ -44,6 +51,7 @@ struct OracleOptions {
   bool check_roundtrip = true;
   bool check_incremental = true;
   bool check_cache = true;
+  bool check_arena = true;        // arena-vs-line-cache delta hash agreement
   bool check_codegen = false;     // compiles with the system C compiler
   double codegen_rel_tol = 1e-3;  // compiled f32 arithmetic vs f64 interpreter
   double codegen_abs_tol = 1e-5;

@@ -257,18 +257,40 @@ TuneResponse TuneServer::handle(const TuneRequest& r) {
       return joined;
     } catch (const std::exception& e) {
       return failWith(std::string("joined tuning run failed: ") + e.what());
+    } catch (...) {
+      // A non-standard throw from the owner still must not escape handle().
+      return failWith("joined tuning run failed: non-standard exception");
     }
   }
 
-  // Owner. Another owner may have fulfilled and retired this key between
-  // our L1 probe and the claim — re-check before paying for tuning.
+  // Owner: from here on, this thread is the only one that can ever publish
+  // to the claimed entry. The guard fails it on ANY exit without a publish —
+  // a throw of a non-std type, or a throw from the warm-path re-check below
+  // — because an abandoned entry blocks every joined waiter forever and
+  // permanently poisons the key (later requests join the dead future
+  // instead of retrying).
+  struct OwnerGuard {
+    search::InflightMap<TuneResponse>& map;
+    std::uint64_t key;
+    bool published = false;
+    ~OwnerGuard() {
+      if (!published)
+        map.fail(key, std::make_exception_ptr(Error(
+                          "tuning run abandoned without publishing")));
+    }
+  } guard{inflight_, key};
+
+  // Another owner may have fulfilled and retired this key between our L1
+  // probe and the claim — re-check before paying for tuning.
   if (results_.get(key, cached)) {
     inflight_.fulfill(key, cached);
+    guard.published = true;
     return serveWarm(r, key, cached);
   }
 
   try {
-    const LibraryEntry e = tuneOne(*k, *m, cfg, &eval_cache_);
+    const LibraryEntry e = cfg_.tuner ? cfg_.tuner(*k, *m, cfg, &eval_cache_)
+                                      : tuneOne(*k, *m, cfg, &eval_cache_);
     resp.ok = true;
     resp.served = "tuned";
     resp.recipe = e.recipe;
@@ -292,6 +314,7 @@ TuneResponse TuneServer::handle(const TuneRequest& r) {
       }
     }
     inflight_.fulfill(key, stored);
+    guard.published = true;
     if (cfg_.telemetry)
       cfg_.telemetry->emit(Event("serve_request")
                                .str("id", r.id)
@@ -305,7 +328,15 @@ TuneResponse TuneServer::handle(const TuneRequest& r) {
     return resp;
   } catch (const std::exception& e) {
     inflight_.fail(key, std::current_exception());
+    guard.published = true;
     return failWith(std::string("tuning failed: ") + e.what());
+  } catch (...) {
+    // Non-standard throw: the waiters still get the real exception (the
+    // guard would substitute a generic one), and handle() still never
+    // throws.
+    inflight_.fail(key, std::current_exception());
+    guard.published = true;
+    return failWith("tuning failed: non-standard exception");
   }
 }
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -92,6 +93,12 @@ struct ServeConfig {
     c.threads = 1;
     return c;
   }();
+  /// Tuning unit used for cache misses; nullptr = tuneOne. Injection point
+  /// for tests (e.g. a tuner that throws) and for embedding custom tuners.
+  std::function<LibraryEntry(const kernels::KernelInfo&,
+                             const machines::Machine&, const LibGenConfig&,
+                             search::EvalCache*)>
+      tuner;
   Telemetry* telemetry = nullptr;
 };
 

@@ -1,15 +1,43 @@
 #include "search/delta.h"
 
+#include <atomic>
+
 #include "ir/walk.h"
 #include "support/common.h"
 
 namespace perfdojo::search {
 
+namespace {
+
+std::atomic<bool> g_default_use_arena{true};
+
+void indexNodes(const ir::Node& n, std::vector<const ir::Node*>& index) {
+  if (n.id < index.size()) index[n.id] = &n;
+  for (const auto& c : n.children) indexNodes(c, index);
+}
+
+}  // namespace
+
+void DeltaContext::setDefaultUseArena(bool v) {
+  g_default_use_arena.store(v, std::memory_order_relaxed);
+}
+
+bool DeltaContext::defaultUseArena() {
+  return g_default_use_arena.load(std::memory_order_relaxed);
+}
+
 void DeltaContext::bind(const ir::Program& base) {
   base_ = base;
   scratch_ = base_;
-  inc_.rebuild(scratch_);
-  base_hash_ = inc_.hash();
+  if (use_arena_) {
+    arena_.bind(base_);
+    base_hash_ = arena_.hash();
+    base_index_.assign(base_.next_id, nullptr);
+    indexNodes(base_.root, base_index_);
+  } else {
+    inc_.rebuild(scratch_);
+    base_hash_ = inc_.hash();
+  }
   bound_ = true;
 }
 
@@ -21,20 +49,46 @@ std::uint64_t DeltaContext::neighborHash(const transform::Action& a) {
     // validate=false: the scratch program is undone immediately and never
     // escapes, and the action came from findApplicable on this very base.
     a.transform->applyInPlace(scratch_, a.loc, &mut, /*validate=*/false);
+    if (mut.whole_tree) ++stats_.whole_tree_fallbacks;
+    // probe() hashes the mutated scratch against the base's read-only
+    // canonical form without committing anything, so the undo only has to
+    // restore the tree — the arena/cache keeps describing the base
+    // throughout.
+    const std::uint64_t h =
+        use_arena_ ? arena_.probe(scratch_, mut) : inc_.probe(scratch_, mut);
+    undo(mut);
+    return h;
   } catch (...) {
-    // A throwing apply may leave scratch_ partially mutated; resynchronize
-    // before propagating so the context stays usable. inc_ was never
-    // touched, so it still renders the base.
+    // Any throw in the mutate/probe/undo sequence — not just the apply — may
+    // leave scratch_ partially mutated; resynchronize before propagating so
+    // the context stays usable and the next neighbor hashes bit-exactly.
+    // The canonical form was never touched, so it still renders the base.
     scratch_ = base_;
     throw;
   }
-  if (mut.whole_tree) ++stats_.whole_tree_fallbacks;
-  // probe() hashes the mutated scratch against the cached base lines without
-  // committing anything, so the undo only has to restore the tree — inc_
-  // keeps describing the base throughout.
-  const std::uint64_t h = inc_.probe(scratch_, mut);
-  undo(mut);
-  return h;
+}
+
+ir::Node* DeltaContext::locateScratch(ir::NodeId id) {
+  const std::int32_t slot = arena_.slotOf(id);
+  if (slot < 0) return nullptr;
+  // The arena's parent column gives the base ancestor chain; by the
+  // MutationSummary contract a dirty root's chain is unchanged in the
+  // mutated tree, so descending scratch_ by those ids lands on the node.
+  arena_.chainOf(static_cast<std::size_t>(slot), chain_buf_);
+  ir::Node* cur = &scratch_.root;
+  for (ir::NodeId cid : chain_buf_) {
+    ir::Node* next = nullptr;
+    for (auto& c : cur->children)
+      if (c.id == cid) {
+        next = &c;
+        break;
+      }
+    if (!next) return nullptr;
+    cur = next;
+  }
+  for (auto& c : cur->children)
+    if (c.id == id) return &c;
+  return nullptr;
 }
 
 void DeltaContext::undo(const ir::MutationSummary& mut) {
@@ -43,14 +97,21 @@ void DeltaContext::undo(const ir::MutationSummary& mut) {
     return;
   }
   if (mut.buffers_changed) scratch_.buffers = base_.buffers;
-  scratch_.next_id = base_.next_id;  // freshId() may have advanced it
+  scratch_.next_id = base_.next_id;  // watermark: ids past it never existed
   for (ir::NodeId id : mut.dirty_scopes) {
     if (id == scratch_.root.id) {
       scratch_.root = base_.root;
       continue;
     }
-    ir::Node* dst = ir::findNode(scratch_.root, id);
-    const ir::Node* src = ir::findNode(base_.root, id);
+    ir::Node* dst;
+    const ir::Node* src;
+    if (use_arena_) {
+      src = id < base_index_.size() ? base_index_[id] : nullptr;
+      dst = locateScratch(id);
+    } else {
+      dst = ir::findNode(scratch_.root, id);
+      src = ir::findNode(base_.root, id);
+    }
     require(dst != nullptr && src != nullptr,
             "DeltaContext: dirty subtree " + std::to_string(id) +
                 " missing during undo (bad mutation report)");

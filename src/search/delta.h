@@ -1,20 +1,32 @@
 // Delta-aware candidate generation: neighbors of a base program are treated
 // as (base, action) pairs. neighborHash() prices the pair's identity — the
 // canonical hash the memo table keys on — by mutating a scratch copy in
-// place, probing an incrementally maintained canonical form of the base
-// (cached lines serve the clean regions, dirty regions render on the fly),
-// and undoing the mutation by restoring only the reported-dirty subtrees.
-// The full validated tree copy (materialize) is deferred until a candidate
-// actually wins: is accepted by annealing, enqueued by the graph expansion,
-// or needs a machine-model evaluation on a cache miss.
+// place, probing a read-only canonical form of the base, and undoing the
+// mutation by restoring only the reported-dirty subtrees. The full validated
+// tree copy (materialize) is deferred until a candidate actually wins: is
+// accepted by annealing, enqueued by the graph expansion, or needs a
+// machine-model evaluation on a cache miss.
 //
-// Hashes are bit-identical to ir::canonicalHash(action.apply(base)) — the
-// property suite and the fuzzer's incremental-hash layer enforce this — so
-// a delta-hashed search makes exactly the decisions of a copy-based one.
+// Two interchangeable canonical-form backends:
+//   * ir::CanonicalArena (default): dense pre-order SoA flattening with the
+//     canonical text in one contiguous slab. Probing splices — clean byte
+//     ranges hash in single FNV calls, undo looks nodes up through the
+//     arena's NodeId->slot index and parent chains instead of O(n) tree
+//     searches, and the id watermark (`next_id`) resets in O(1).
+//   * ir::IncrementalCanonical (`setUseArena(false)`, the CLI's --no-arena
+//     escape hatch for one PR): the per-node line-cache design this arena
+//     replaced.
+//
+// Hashes are bit-identical to ir::canonicalHash(action.apply(base)) with
+// EITHER backend — the property suite and the fuzzer's arena oracle layer
+// enforce this — so a delta-hashed search makes exactly the decisions of a
+// copy-based one, arena on or off.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "ir/arena.h"
 #include "ir/incremental.h"
 #include "ir/program.h"
 #include "transform/transform.h"
@@ -32,6 +44,18 @@ class DeltaContext {
  public:
   DeltaContext() = default;
 
+  /// Selects the canonical-form backend for subsequent bind() calls. The
+  /// default follows defaultUseArena(); results are bit-identical either
+  /// way, only the hot-path cost differs.
+  void setUseArena(bool v) { use_arena_ = v; }
+  bool usesArena() const { return use_arena_; }
+
+  /// Process-wide default backend for newly constructed contexts — the CLI's
+  /// --no-arena flag flips this once at startup so every context in the run
+  /// (search, graph expansion, exact frontier) switches together.
+  static void setDefaultUseArena(bool v);
+  static bool defaultUseArena();
+
   /// Fixes the base program; copies it twice (base + scratch) and renders
   /// its canonical form once. Amortized over every neighbor hashed from it.
   void bind(const ir::Program& base);
@@ -42,8 +66,10 @@ class DeltaContext {
 
   /// Canonical hash of a.apply(base()) without performing the copy or the
   /// validation: apply in place on the scratch tree, probe the base's
-  /// incremental canonical form (read-only), undo. Throws (and
-  /// resynchronizes the scratch state) if the action does not apply.
+  /// canonical form (read-only), undo. Throws if the action does not apply —
+  /// and on ANY throw (apply, probe, or an undo over a bad mutation report)
+  /// fully resynchronizes the scratch state, so the context stays usable and
+  /// the next neighborHash is bit-exact.
   std::uint64_t neighborHash(const transform::Action& a);
 
   /// The full validated program for a winning candidate.
@@ -55,11 +81,20 @@ class DeltaContext {
 
  private:
   void undo(const ir::MutationSummary& mut);
+  /// Finds the node with `id` in the scratch tree by walking the base
+  /// parent chain from the arena (O(depth * siblings), not O(n)); nullptr
+  /// if the mutation report broke the unchanged-ancestors contract.
+  ir::Node* locateScratch(ir::NodeId id);
 
   ir::Program base_;
   ir::Program scratch_;
-  ir::IncrementalCanonical inc_;
+  ir::IncrementalCanonical inc_;  // backend when !use_arena_
+  ir::CanonicalArena arena_;      // backend when use_arena_
+  /// NodeId -> node in base_ (dense, built at bind): O(1) undo sources.
+  std::vector<const ir::Node*> base_index_;
+  std::vector<ir::NodeId> chain_buf_;
   std::uint64_t base_hash_ = 0;
+  bool use_arena_ = defaultUseArena();
   bool bound_ = false;
   DeltaStats stats_;
 };

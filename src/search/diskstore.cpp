@@ -47,35 +47,44 @@ void ShardStore::loadShard(int idx) {
     corrupt = true;
   }
   if (!corrupt) {
-    // Line format: "<16-hex-digit key> <single-line JSON record>". Any
-    // malformed line condemns the whole file: a torn tail means the rename
-    // discipline was bypassed (or the file was edited), so nothing in it is
-    // trustworthy.
+    // Line format: "<16-hex-digit key> <single-line JSON record>". Each
+    // record stands alone, so a malformed line (a torn tail from a bypassed
+    // rename discipline, a hand-edit) condemns only itself: every line that
+    // parses is salvaged. Dropping the whole file here would throw away
+    // healthy schedules worth their tuning cost over one bad byte.
     for (const auto& line : splitLines(text)) {
       if (line.empty()) continue;
       const auto sp = line.find(' ');
       std::uint64_t key = 0;
       if (sp == std::string::npos || !parseHex64(line.substr(0, sp), key)) {
         corrupt = true;
-        break;
+        continue;
       }
       std::string record = line.substr(sp + 1);
       JsonValue doc;
       if (!parseJson(record, doc)) {
         corrupt = true;
-        break;
+        continue;
       }
       loaded[key] = std::move(record);
     }
   }
+  sh.entries = std::move(loaded);
   if (corrupt) {
+    // Quarantine: move the damaged original aside for forensics, then
+    // persist the salvaged entries as the new shard file so the next open
+    // loads clean instead of re-quarantining the same damage forever.
     std::error_code ec;
     fs::rename(path, path + ".corrupt", ec);
     if (ec) fs::remove(path, ec);  // quarantine must not be fatal either
     ++quarantined_;
-    return;
+    try {
+      persistShardLocked(idx);
+    } catch (const Error&) {
+      // Re-persist is best-effort: the salvaged entries still serve from
+      // memory, and the quarantined original is already out of the way.
+    }
   }
-  sh.entries = std::move(loaded);
 }
 
 bool ShardStore::get(std::uint64_t key, std::string& out) const {

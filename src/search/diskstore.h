@@ -9,10 +9,12 @@
 // data. Every write goes tmp-file + atomic rename, so a crash mid-write
 // leaves either the old shard or the new one — never a torn file.
 //
-// Durability over completeness: a shard file that fails to load (truncated
-// by a crash, hand-edited, wrong format) is *quarantined* — renamed to
-// `<shard>.corrupt` and its entries dropped — rather than taking the server
-// down. The worst case of losing a shard is re-tuning its requests.
+// Durability over completeness: a shard file with lines that fail to load
+// (truncated by a crash, hand-edited, wrong format) is *quarantined* rather
+// than taking the server down — the damaged original is renamed to
+// `<shard>.corrupt`, every line that still parses is salvaged, and the
+// salvaged entries are re-persisted as the shard file so the next open
+// loads clean. The worst case of losing a record is re-tuning its request.
 #pragma once
 
 #include <atomic>

@@ -131,7 +131,7 @@ class Eval {
       ++hits_;
       return v;
     }
-    v = m_.evaluate(p);
+    v = timedEvaluate(p);
     ++machine_evals_;
     cache_->insert(m_, h, v);
     return v;
@@ -166,7 +166,7 @@ class Eval {
       return v;
     }
     prog.emplace(make());
-    v = m_.evaluate(*prog);
+    v = timedEvaluate(*prog);
     ++machine_evals_;
     cache_->insert(m_, h, v);
     return v;
@@ -179,12 +179,59 @@ class Eval {
     ++hits_;
   }
 
+  /// Uncounted memo lookup for the neighbor prefetcher: priming is not a
+  /// decision-loop request, so it must not perturb requested_/hits_.
+  bool rawLookup(std::uint64_t h, double& v) const {
+    return cache_->lookup(m_, h, v);
+  }
+
+  /// Machine-evaluates a prefetched candidate and publishes it to the memo.
+  /// Counted as a (primed) machine eval and a priced unique program; the
+  /// decision loop's later draw of this candidate becomes a cache hit.
+  /// Re-entrant — the prefetch batch runs under the pool.
+  double primedEval(std::uint64_t h, const ir::Program& p) {
+    noteUnique(h);
+    const double v = timedEvaluate(p);
+    ++machine_evals_;
+    ++primed_;
+    cache_->insert(m_, h, v);
+    return v;
+  }
+
+  /// Runs fn(i) for i in [0, n) — on the pool only when the batch is worth
+  /// the dispatch: n model runs at the recently observed per-eval cost must
+  /// exceed the pool's wake/join overhead, or an analytic model's
+  /// sub-microsecond evals would pay more for scheduling than for work.
+  /// Batch membership is decided by the caller before this, so the choice
+  /// (like thread count itself) can only change scheduling, never which
+  /// candidates are priced nor any counter.
+  void forBatch(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    // Dispatch only when the batch carries at least ~1ms of model work: the
+    // pool's wake + completion-barrier cost is tens of microseconds idle but
+    // can reach milliseconds when the machine is oversubscribed (CI runs
+    // tests in parallel), and the batch sizes here are small. Measured-
+    // runtime models (the batching target) cost >= hundreds of microseconds
+    // per eval and clear this easily; analytic models never should.
+    constexpr std::int64_t kDispatchNs = 1000000;
+    const std::int64_t per_eval = eval_ns_.load(std::memory_order_relaxed);
+    // Serial while the per-eval cost is unknown or too small to amortize the
+    // dispatch: an analytic model's sub-microsecond evals would pay more for
+    // scheduling than for work.
+    if (pool_ && n > 1 && per_eval > 0 &&
+        per_eval * static_cast<std::int64_t>(n) >= kDispatchNs) {
+      pool_->forEach(n, fn);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
+  }
+
   bool memoizing() const { return cache_ != nullptr; }
 
   void fillStats(SearchStats& s) const {
     s.evals_requested = requested_.load();
     s.cache_hits = hits_.load();
     s.machine_evals = machine_evals_.load();
+    s.primed_evals = primed_.load();
     s.unique_programs = static_cast<std::int64_t>(seen_.size());
     s.threads_used = pool_ ? pool_->threads() : 1;
   }
@@ -195,12 +242,35 @@ class Eval {
     seen_.insert(h);
   }
 
+  /// Evaluates and keeps a running-minimum estimate of the model's per-eval
+  /// cost for forBatch's serial-vs-pool decision. The minimum, not an
+  /// average: a wall-clock sample can only be inflated by preemption, and on
+  /// a loaded machine (CI runs tests in parallel) an averaged estimate
+  /// ratchets upward until it flips forBatch into pool dispatch exactly when
+  /// the machine is busiest. The model is fixed for the run, so the fastest
+  /// observed eval is the honest uninflated cost. Lossy under concurrent
+  /// updates by design — it only steers scheduling.
+  double timedEvaluate(const ir::Program& p) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const double v = m_.evaluate(p);
+    const std::int64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::int64_t prev = eval_ns_.load(std::memory_order_relaxed);
+    if (prev == 0 || ns < prev)
+      eval_ns_.store(ns, std::memory_order_relaxed);
+    return v;
+  }
+
   const machines::Machine& m_;
   EvalCache* cache_;
   ParallelEvaluator* pool_;
   std::atomic<std::int64_t> requested_{0};
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> machine_evals_{0};
+  std::atomic<std::int64_t> primed_{0};
+  std::atomic<std::int64_t> eval_ns_{0};  // decaying per-eval cost estimate
   mutable std::mutex seen_mu_;
   std::unordered_set<std::uint64_t> seen_;
 };
@@ -362,6 +432,88 @@ void randomSamplingEdges(const ir::Program& kernel,
   if (!tr.exhausted()) tr.reason = TerminationReason::Stall;
 }
 
+/// Cap on candidates machine-evaluated per prefetch batch, and on how many
+/// upcoming draws the membership simulation looks ahead. Fixed constants —
+/// NOT derived from the thread count — because batch membership decides
+/// which programs get (speculatively) priced, and every counter in the
+/// search_end event must be bit-identical for any `threads` setting.
+constexpr std::size_t kPrimeBatch = 16;
+constexpr int kPrimeLookahead = 64;
+
+/// Consecutive rejections a state must survive before its neighbor set is
+/// primed. A fresh state usually has an improving (always-accepted) neighbor
+/// within a draw or two, so eager priming would waste most of its probes;
+/// a state the walk is stalling on is exactly where the rejection-assuming
+/// membership simulation is accurate. The trigger depends only on the
+/// deterministic acceptance sequence — never on timing or thread count — so
+/// counters and traces stay bit-identical across threads and backends.
+constexpr int kPrimeAfterRejects = 2;
+
+/// Batched neighbor pricing for the annealing walk: replays the upcoming
+/// draw sequence on a clone of the RNG to collect the distinct actions the
+/// walk is about to need (assuming rejection, the common case once the
+/// temperature decays), then prices their memo misses in one concurrent
+/// batch. Speculation can only waste model runs (counted as primed_evals),
+/// never change a decision: the real loop re-draws from its own RNG and
+/// reads the same deterministic costs, now warm.
+void primeNeighbors(const std::vector<Action>& actions,
+                    std::vector<double>& action_cost, const ir::Program& cur,
+                    Rng rng_clone, int evals_remaining, bool use_delta,
+                    DeltaContext& dctx, Eval& ev) {
+  if (actions.empty() || evals_remaining <= 0) return;
+  std::vector<std::size_t> picks;
+  std::vector<char> picked(actions.size(), 0);
+  const int lookahead = std::min(kPrimeLookahead, evals_remaining);
+  for (int t = 0; t < lookahead && picks.size() < kPrimeBatch; ++t) {
+    const std::size_t ai = rng_clone.uniform(actions.size());
+    if (!picked[ai]) {
+      picked[ai] = 1;
+      picks.push_back(ai);
+    }
+    // Assume the candidate is worse than the current state and rejected:
+    // consume the acceptance draw the real loop would consume and keep
+    // simulating. A wrong guess only misaligns the speculative tail.
+    rng_clone.uniformReal();
+  }
+  // Hash every pick (serially — the delta scratch is single-threaded; with
+  // the arena this is the cheap part) and split memo hits from misses.
+  struct Miss {
+    std::size_t ai;
+    std::uint64_t h;
+  };
+  std::vector<Miss> misses;
+  std::vector<std::uint64_t> pick_hash(picks.size());
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    const std::size_t ai = picks[i];
+    const std::uint64_t h = use_delta
+                                ? dctx.neighborHash(actions[ai])
+                                : ir::canonicalHash(actions[ai].apply(cur));
+    pick_hash[i] = h;
+    double v;
+    if (ev.rawLookup(h, v)) {
+      action_cost[ai] = v;
+      continue;
+    }
+    bool dup = false;
+    for (const auto& ms : misses) dup = dup || ms.h == h;
+    if (!dup) misses.push_back({ai, h});
+  }
+  // One concurrent batch for the misses: materialize + evaluate + publish.
+  ev.forBatch(misses.size(), [&](std::size_t i) {
+    const auto& ms = misses[i];
+    const ir::Program prog = use_delta ? dctx.materialize(actions[ms.ai])
+                                       : actions[ms.ai].apply(cur);
+    ev.primedEval(ms.h, prog);
+  });
+  // Every pick is warm now; fill the per-state memo (duplicate-hash picks
+  // resolve through the shared table).
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    if (action_cost[picks[i]] != kPendingRuntime) continue;
+    double v;
+    if (ev.rawLookup(pick_hash[i], v)) action_cost[picks[i]] = v;
+  }
+}
+
 void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
                     const SearchConfig& cfg, Eval& ev, Tracker& tr) {
   Rng rng(cfg.seed);
@@ -385,8 +537,12 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
   // bit-identical to canonicalHash(apply(cur)), so the decision sequence,
   // counters and telemetry match the copy-based path exactly.
   const bool use_delta = cfg.use_delta && ev.memoizing();
+  const bool batch = cfg.batch_neighbors && ev.memoizing();
   DeltaContext dctx;
+  dctx.setUseArena(cfg.use_arena);
   if (use_delta) dctx.bind(cur);
+  int rejects_here = 0;    // consecutive rejections at the current state
+  bool primed_here = false;  // this state's neighbor set already primed
   while (!tr.exhausted()) {
     if (actions.empty() || steps >= cfg.max_steps) {
       cur = kernel;  // restart from the source program
@@ -394,6 +550,8 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
       steps = 0;
       actions = transform::allActions(cur, m.caps());
       action_cost.assign(actions.size(), kPendingRuntime);
+      rejects_here = 0;
+      primed_here = false;
       if (use_delta) dctx.bind(cur);
       if (actions.empty()) {
         tr.reason = TerminationReason::Stall;
@@ -448,7 +606,16 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
       ++steps;
       actions = transform::allActions(cur, m.caps());
       action_cost.assign(actions.size(), kPendingRuntime);
+      rejects_here = 0;
+      primed_here = false;
       if (use_delta) dctx.bind(cur);
+    } else if (batch && !primed_here &&
+               ++rejects_here >= kPrimeAfterRejects) {
+      // The walk is stalling on this state: prime the neighbors the cloned
+      // RNG says it is about to draw, batching their memo misses.
+      primed_here = true;
+      primeNeighbors(actions, action_cost, cur, rng, cfg.budget - tr.evals,
+                     use_delta, dctx, ev);
     }
     temp *= cfg.sa_decay;  // decays once per recorded evaluation
   }
@@ -687,6 +854,7 @@ SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
                             .integer("evals", r.evals)
                             .integer("cache_hits", r.stats.cache_hits)
                             .integer("machine_evals", r.stats.machine_evals)
+                            .integer("primed_evals", r.stats.primed_evals)
                             .integer("unique_programs", r.stats.unique_programs)
                             .integer("nonfinite_rejected",
                                      r.stats.nonfinite_rejected)

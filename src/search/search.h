@@ -65,6 +65,21 @@ struct SearchConfig {
   /// the run has no cache. Hashes are bit-identical to the copy-based path,
   /// so results, visit order and telemetry traces do not depend on this.
   bool use_delta = true;
+  /// Canonical-form backend for delta hashing: the arena (SoA + contiguous
+  /// line slab, splice probes) or, when false, the per-node line-cache
+  /// backend it replaced (the CLI's --no-arena escape hatch, kept for one
+  /// PR). Hashes are bit-identical either way.
+  bool use_arena = true;
+  /// Batched neighbor pricing for the edges-structure annealing walk: once
+  /// a state survives a couple of consecutive rejections (the stall regime),
+  /// a cloned-RNG simulation of the upcoming draws collects the actions the
+  /// walk is about to need, and their memo misses are machine-evaluated in
+  /// one concurrent batch (counted separately as primed_evals). Membership
+  /// depends only on the RNG stream and the deterministic acceptance
+  /// sequence — never on thread count or the delta backend — so decisions,
+  /// traces and counters stay bit-identical across those settings. Inert
+  /// without a cache. --no-batch disables it.
+  bool batch_neighbors = true;
   /// Optional JSONL event sink (nullptr = off). Per-evaluation and per-SA-step
   /// events are emitted from the search decision thread only, so for a given
   /// seed the trace is bit-identical at any `threads` setting.
@@ -75,7 +90,11 @@ struct SearchConfig {
 struct SearchStats {
   std::int64_t evals_requested = 0;  // cost lookups issued by the search loop
   std::int64_t cache_hits = 0;       // served from the memo table
-  std::int64_t machine_evals = 0;    // raw machine-model runs (cache misses)
+  std::int64_t machine_evals = 0;    // raw machine-model runs (incl. primed)
+  /// Machine-model runs performed by the neighbor prefetcher rather than on
+  /// demand by the decision loop. The exact accounting identity is
+  /// (machine_evals - primed_evals) + cache_hits == evals_requested.
+  std::int64_t primed_evals = 0;
   std::int64_t unique_programs = 0;  // distinct canonical programs priced
   /// Candidates whose cost came back NaN/inf: never promoted to best, never
   /// accepted by annealing, stored in sampling pools only as a huge finite

@@ -50,6 +50,7 @@
 #include "libgen/server.h"
 #include "machines/machine.h"
 #include "rl/perfllm.h"
+#include "search/delta.h"
 #include "search/exact.h"
 #include "search/pass.h"
 #include "search/search.h"
@@ -142,6 +143,8 @@ int usage() {
                "  --threads <n>       evaluation worker threads (0 = all cores)\n"
                "  --no-cache <0|1>    1 disables evaluation memoization\n"
                "  --no-delta <0|1>    1 disables incremental (delta) candidate hashing\n"
+               "  --no-arena <0|1>    1 falls back to the per-node line-cache hash backend\n"
+               "  --no-batch <0|1>    1 disables batched neighbor pricing (SA prefetch)\n"
                "  --emit <fmt>        ir | c | cuda\n"
                "  --out <dir>         libgen / fuzz-witness output directory\n"
                "  --trace-out <file>  append JSONL telemetry events to <file>\n"
@@ -244,6 +247,8 @@ int cmdOptimize(const Args& a) {
     sc.threads = static_cast<int>(flagInt(a, "threads", 0, 0, 4096));
     sc.use_cache = a.get("no-cache", "0") != "1";
     sc.use_delta = a.get("no-delta", "0") != "1";
+    sc.use_arena = a.get("no-arena", "0") != "1";
+    sc.batch_neighbors = a.get("no-batch", "0") != "1";
     sc.telemetry = trace.get();
     const auto r = search::runSearch(base, *m, sc);
     tuned = r.best;
@@ -737,6 +742,11 @@ int cmdFuzz(const Args& a) {
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
+  // The escape hatch switches every DeltaContext in the process (search,
+  // graph expansion, exact frontier, fuzz oracles) to the pre-arena backend;
+  // results are bit-identical, only the hot-path cost differs.
+  if (a.get("no-arena", "0") == "1")
+    search::DeltaContext::setDefaultUseArena(false);
   try {
     if (a.command == "list") return cmdList();
     if (a.command == "show") return cmdShow(a);

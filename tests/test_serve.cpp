@@ -1,8 +1,11 @@
 // The tuning server: wire format, warm-path persistence, in-flight dedupe,
 // and the shard store underneath it. Test names deliberately start with
 // Serve/Shard/Inflight so CI's TSan job picks them up.
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <thread>
 
@@ -301,12 +304,56 @@ TEST(ShardStore, QuarantinesCorruptShardFiles) {
   EXPECT_TRUE(fs::exists(dir + "/" + search::ShardStore::shardName(0) +
                          ".corrupt"));
   std::string out;
-  EXPECT_FALSE(store.get(key, out));  // the whole shard was dropped...
-  store.put(key, "{\"v\":4}");        // ...and the store keeps serving
+  // The torn line condemns only itself: the healthy entry is salvaged and
+  // keeps serving.
   ASSERT_TRUE(store.get(key, out));
+  EXPECT_EQ(out, "{\"v\":4}");
+  // The salvage was re-persisted, so a second open is clean — no
+  // re-quarantine of damage that is already gone.
   search::ShardStore reopened(dir, 4);
   EXPECT_EQ(reopened.stats().quarantined, 0);
   EXPECT_TRUE(reopened.get(key, out));
+}
+
+TEST(ShardStore, CorruptEntryDoesNotDropHealthySiblings) {
+  // Three records in the same shard file; one record's JSON is damaged in
+  // place. Quarantine must salvage the two healthy siblings, miss only the
+  // damaged key, and leave a clean (non-re-quarantining) file behind.
+  const std::string dir = freshDir("pd_shard_sibling");
+  const std::uint64_t k1 = 4, k2 = 8, k3 = 12;  // all shard 0 of 4
+  {
+    search::ShardStore store(dir, 4);
+    store.put(k1, "{\"v\":4}");
+    store.put(k2, "{\"v\":8}");
+    store.put(k3, "{\"v\":12}");
+  }
+  const std::string path = dir + "/" + search::ShardStore::shardName(0);
+  {
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const auto pos = text.find("{\"v\":8}");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 7, "{\"v\":8 ");  // drop the closing brace
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+  search::ShardStore store(dir, 4);
+  EXPECT_EQ(store.stats().quarantined, 1);
+  EXPECT_EQ(store.stats().entries, 2u);
+  std::string out;
+  ASSERT_TRUE(store.get(k1, out));
+  EXPECT_EQ(out, "{\"v\":4}");
+  EXPECT_FALSE(store.get(k2, out));  // only the damaged record is lost
+  ASSERT_TRUE(store.get(k3, out));
+  EXPECT_EQ(out, "{\"v\":12}");
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));
+
+  search::ShardStore reopened(dir, 4);
+  EXPECT_EQ(reopened.stats().quarantined, 0);
+  EXPECT_EQ(reopened.stats().entries, 2u);
+  ASSERT_TRUE(reopened.get(k1, out));
+  ASSERT_TRUE(reopened.get(k3, out));
 }
 
 TEST(ServeHandle, CorruptCacheDirIsSurvivable) {
@@ -361,6 +408,91 @@ TEST(InflightMap, FailurePropagatesToEveryWaiter) {
   EXPECT_THROW(joined.future.get(), std::runtime_error);
   EXPECT_THROW(owner.future.get(), std::runtime_error);
   EXPECT_EQ(inflight.size(), 0u);
+}
+
+TEST(InflightServe, ThrowingTunerFailsEveryWaiterAndRetires) {
+  // Regression: a tuning run that throws while identical requests are
+  // waiting on the in-flight future. Before the owner-guard fix, only a
+  // `const std::exception&` throw reached inflight_.fail — anything else
+  // left the entry in the map forever: the waiters hung, and every later
+  // request for the key joined the dead promise instead of retrying.
+  std::promise<void> owner_in_tuner;
+  std::promise<void> release_owner;
+  std::atomic<int> calls{0};
+  ServeConfig cfg;
+  cfg.workers = 1;  // handle() is driven from explicit threads below
+  cfg.tuner = [&](const kernels::KernelInfo& k, const machines::Machine& m,
+                  const LibGenConfig& c,
+                  search::EvalCache* cache) -> LibraryEntry {
+    if (calls.fetch_add(1) == 0) {
+      owner_in_tuner.set_value();
+      release_owner.get_future().wait();
+      throw Error("model exploded on first call");
+    }
+    return tuneOne(k, m, c, cache);
+  };
+  TuneServer server(cfg);
+
+  TuneResponse owner_resp;
+  std::thread owner(
+      [&] { owner_resp = server.handle(mulRequest("owner")); });
+  owner_in_tuner.get_future().wait();
+  // The owner is parked inside the tuning run, so these claims are
+  // guaranteed to join its in-flight entry, not start runs of their own.
+  std::vector<TuneResponse> waiter_resp(3);
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i)
+    waiters.emplace_back([&, i] {
+      waiter_resp[static_cast<std::size_t>(i)] =
+          server.handle(mulRequest("waiter-" + std::to_string(i)));
+    });
+  // Give the waiters time to reach future.get(); correctness does not
+  // depend on it (a claim made any time before fail() joins the entry).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release_owner.set_value();
+  owner.join();
+  for (auto& w : waiters) w.join();
+
+  EXPECT_FALSE(owner_resp.ok);
+  EXPECT_NE(owner_resp.error.find("model exploded"), std::string::npos)
+      << owner_resp.error;
+  for (const auto& wr : waiter_resp) {
+    EXPECT_FALSE(wr.ok);
+    EXPECT_NE(wr.error.find("model exploded"), std::string::npos) << wr.error;
+  }
+  EXPECT_EQ(server.stats().errors, 4);
+  EXPECT_EQ(server.stats().tuning_runs, 0);  // only successes count
+
+  // The failed entry must be retired: the next identical request becomes a
+  // fresh owner and retries (second tuner call succeeds).
+  const auto retry = server.handle(mulRequest("retry"));
+  ASSERT_TRUE(retry.ok) << retry.error;
+  EXPECT_EQ(retry.served, "tuned");
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(server.stats().tuning_runs, 1);
+}
+
+TEST(InflightServe, NonStandardThrowStillFailsWaitersAndAllowsRetry) {
+  // A tuner that throws something not derived from std::exception must not
+  // escape handle() (documented never-throws) and must not abandon the
+  // in-flight entry.
+  std::atomic<int> calls{0};
+  ServeConfig cfg;
+  cfg.tuner = [&](const kernels::KernelInfo& k, const machines::Machine& m,
+                  const LibGenConfig& c,
+                  search::EvalCache* cache) -> LibraryEntry {
+    if (calls.fetch_add(1) == 0) throw 42;  // NOLINT: deliberately non-std
+    return tuneOne(k, m, c, cache);
+  };
+  TuneServer server(cfg);
+  const auto first = server.handle(mulRequest("first"));
+  EXPECT_FALSE(first.ok);
+  EXPECT_NE(first.error.find("non-standard"), std::string::npos)
+      << first.error;
+  const auto retry = server.handle(mulRequest("retry"));
+  ASSERT_TRUE(retry.ok) << retry.error;
+  EXPECT_EQ(retry.served, "tuned");
+  EXPECT_EQ(calls.load(), 2);
 }
 
 }  // namespace
