@@ -4,10 +4,20 @@
 // kernels twice:
 //
 //   modern — the shipping pipeline: memo table + arena-backed delta hashing
-//            + batched neighbor priming (SearchConfig defaults)
+//            + batched neighbor priming + incrementally maintained action
+//            index + arena rebase-on-accept (SearchConfig defaults)
+//   noindex— modern minus the accepted-move path: action index and rebase
+//            off, so every acceptance re-enumerates allActions and rebinds
+//            the delta context from scratch
 //   legacy — the minimal copy pipeline: the same memo table, but every
 //            candidate priced by apply-copying the tree and re-rendering its
 //            canonical text (use_delta/use_arena/batch_neighbors off)
+//
+// A fourth leg times neighbor *enumeration* alone — actions/sec along a
+// deterministic accepted-move trajectory, maintained ActionSet splices vs
+// full allActions re-enumeration — so the index's own win is gated as a
+// host-independent ratio (`index_enum_speedup`) even where end-to-end wall
+// is dominated by pricing.
 //
 // What this gate means: end-to-end throughput on the in-tree analytic models
 // is dominated by neighbor enumeration (transform::allActions per accepted
@@ -30,16 +40,20 @@
 //   bench_candidates [--out BENCH_candidates.json]
 //                    [--check bench/BENCH_candidates_baseline.json]
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "ir/incremental.h"
 #include "kernels/kernels.h"
 #include "machines/machine.h"
 #include "search/search.h"
+#include "support/rng.h"
 #include "support/telemetry.h"
+#include "transform/action_set.h"
 
 namespace perfdojo {
 namespace {
@@ -64,8 +78,15 @@ search::SearchConfig modernConfig() {
   return cfg;       // cache + delta + arena + batching: the defaults
 }
 
-search::SearchConfig legacyConfig() {
+search::SearchConfig noIndexConfig() {
   auto cfg = modernConfig();
+  cfg.use_action_index = false;  // re-enumerate allActions per acceptance
+  cfg.use_rebase = false;        // rebind the delta context per acceptance
+  return cfg;
+}
+
+search::SearchConfig legacyConfig() {
+  auto cfg = noIndexConfig();
   cfg.use_delta = false;  // memo stays on; pricing falls back to apply-copy
   cfg.use_arena = false;
   cfg.batch_neighbors = false;
@@ -76,10 +97,21 @@ struct Measurement {
   std::vector<std::string> kernels;
   std::int64_t candidates = 0;  // per pipeline, summed over kernels
   double modern_ms = 0;         // median wall, summed over kernels
+  double noindex_ms = 0;
   double legacy_ms = 0;
+  // Enumeration leg: actions enumerated along the accepted-move trajectory,
+  // spliced vs re-enumerated (identical counts by the element-identity
+  // invariant).
+  std::int64_t enum_actions = 0;
+  double enum_indexed_ms = 0;
+  double enum_full_ms = 0;
   double modern_cps() const {
     return modern_ms > 0 ? 1e3 * static_cast<double>(candidates) / modern_ms
                          : 0;
+  }
+  double noindex_cps() const {
+    return noindex_ms > 0 ? 1e3 * static_cast<double>(candidates) / noindex_ms
+                          : 0;
   }
   double legacy_cps() const {
     return legacy_ms > 0 ? 1e3 * static_cast<double>(candidates) / legacy_ms
@@ -90,7 +122,56 @@ struct Measurement {
   double overhead() const {
     return legacy_ms > 0 && modern_ms > 0 ? modern_ms / legacy_ms : 0;
   }
+  /// End-to-end win of the accepted-move path: index+rebase off over on.
+  /// Higher is better; 1.0 is parity.
+  double indexRatio() const {
+    return modern_ms > 0 && noindex_ms > 0 ? noindex_ms / modern_ms : 0;
+  }
+  /// Enumeration-only win: full re-enumeration wall over spliced wall.
+  double enumSpeedup() const {
+    return enum_indexed_ms > 0 && enum_full_ms > 0
+               ? enum_full_ms / enum_indexed_ms
+               : 0;
+  }
 };
+
+/// Actions/sec along one deterministic accepted-move trajectory per kernel:
+/// `indexed` splices a maintained ActionSet from each step's mutation
+/// summary, `!indexed` re-runs transform::allActions. Identical action
+/// streams (the element-identity invariant), so walls compare like with
+/// like. Returns total actions enumerated; adds median wall to `ms`.
+std::int64_t timeEnumeration(const ir::Program& p0, bool indexed, double& ms) {
+  constexpr int kSteps = 64;
+  const auto& caps = machines::xeon().caps();
+  std::int64_t actions_seen = 0;
+  std::vector<double> walls;
+  for (int rep = 0; rep <= kReps; ++rep) {  // rep 0 = warm-up
+    actions_seen = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    ir::Program p = p0;
+    Rng rng(13);
+    transform::ActionSet aset;
+    std::vector<transform::Action> own;
+    if (indexed) aset.bind(p, caps);
+    else own = transform::allActions(p, caps);
+    const std::vector<transform::Action>* actions =
+        indexed ? &aset.actions() : &own;
+    for (int step = 0; step < kSteps && !actions->empty(); ++step) {
+      actions_seen += static_cast<std::int64_t>(actions->size());
+      const auto a = (*actions)[rng.uniform(actions->size())];
+      ir::MutationSummary mut;
+      a.transform->applyInPlace(p, a.loc, &mut);
+      if (indexed) aset.update(p, mut);
+      else own = transform::allActions(p, caps);
+    }
+    const double wall =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0).count();
+    if (rep > 0) walls.push_back(wall);
+  }
+  ms += median(walls);
+  return actions_seen;
+}
 
 Measurement measure() {
   Measurement mm;
@@ -106,29 +187,51 @@ Measurement measure() {
     }
     const ir::Program p = k->build();
     const auto modern_cfg = modernConfig();
+    const auto noindex_cfg = noIndexConfig();
     const auto legacy_cfg = legacyConfig();
-    // Warm-up both pipelines, and take the candidate count from the warm-up
+    // Warm-up all pipelines, and take the candidate count from the warm-up
     // (bit-identical across reps and pipelines by the determinism contract).
     const auto warm_modern = search::runSearch(p, m, modern_cfg);
+    const auto warm_noindex = search::runSearch(p, m, noindex_cfg);
     const auto warm_legacy = search::runSearch(p, m, legacy_cfg);
     if (warm_modern.stats.evals_requested !=
             warm_legacy.stats.evals_requested ||
-        warm_modern.best_runtime != warm_legacy.best_runtime) {
-      std::fprintf(stderr, "pipeline divergence on %s: %lld vs %lld evals\n",
+        warm_modern.stats.evals_requested !=
+            warm_noindex.stats.evals_requested ||
+        warm_modern.best_runtime != warm_legacy.best_runtime ||
+        warm_modern.best_runtime != warm_noindex.best_runtime) {
+      std::fprintf(stderr, "pipeline divergence on %s: %lld vs %lld vs %lld "
+                   "evals\n",
                    label.c_str(),
                    static_cast<long long>(warm_modern.stats.evals_requested),
+                   static_cast<long long>(warm_noindex.stats.evals_requested),
                    static_cast<long long>(warm_legacy.stats.evals_requested));
       std::exit(2);
     }
     mm.candidates += warm_modern.stats.evals_requested;
 
-    std::vector<double> modern_s, legacy_s;
+    std::vector<double> modern_s, noindex_s, legacy_s;
     for (int rep = 0; rep < kReps; ++rep) {
       modern_s.push_back(search::runSearch(p, m, modern_cfg).stats.wall_ms);
+      noindex_s.push_back(search::runSearch(p, m, noindex_cfg).stats.wall_ms);
       legacy_s.push_back(search::runSearch(p, m, legacy_cfg).stats.wall_ms);
     }
     mm.modern_ms += median(modern_s);
+    mm.noindex_ms += median(noindex_s);
     mm.legacy_ms += median(legacy_s);
+
+    const std::int64_t indexed_actions =
+        timeEnumeration(p, /*indexed=*/true, mm.enum_indexed_ms);
+    const std::int64_t full_actions =
+        timeEnumeration(p, /*indexed=*/false, mm.enum_full_ms);
+    if (indexed_actions != full_actions) {
+      std::fprintf(stderr, "enumeration divergence on %s: %lld vs %lld "
+                   "actions\n",
+                   label.c_str(), static_cast<long long>(indexed_actions),
+                   static_cast<long long>(full_actions));
+      std::exit(2);
+    }
+    mm.enum_actions += indexed_actions;
   }
   return mm;
 }
@@ -140,10 +243,17 @@ std::string toJson(const Measurement& m) {
     os << (i ? "," : "") << '"' << m.kernels[i] << '"';
   os << "],\"candidates\":" << m.candidates
      << ",\"modern_wall_ms\":" << m.modern_ms
+     << ",\"noindex_wall_ms\":" << m.noindex_ms
      << ",\"legacy_wall_ms\":" << m.legacy_ms
      << ",\"modern_candidates_per_sec\":" << m.modern_cps()
+     << ",\"noindex_candidates_per_sec\":" << m.noindex_cps()
      << ",\"legacy_candidates_per_sec\":" << m.legacy_cps()
-     << ",\"overhead_ratio\":" << m.overhead() << "}\n";
+     << ",\"overhead_ratio\":" << m.overhead()
+     << ",\"index_ratio\":" << m.indexRatio()
+     << ",\"enum_actions\":" << m.enum_actions
+     << ",\"enum_indexed_ms\":" << m.enum_indexed_ms
+     << ",\"enum_full_ms\":" << m.enum_full_ms
+     << ",\"index_enum_speedup\":" << m.enumSpeedup() << "}\n";
   return os.str();
 }
 
@@ -181,6 +291,22 @@ int check(const Measurement& m, const std::string& baseline_path) {
                  m.overhead(), limit);
     return 1;
   }
+  // The enumeration speedup is also a same-host ratio: the spliced index may
+  // not fall below 60% of its checked-in win (and never below parity).
+  const double sp_base = doc.numberOr("index_enum_speedup", 0);
+  if (sp_base > 0) {
+    const double floor = sp_base * 0.6 > 1.0 ? sp_base * 0.6 : 1.0;
+    std::printf("check: enumeration speedup %.2fx vs baseline %.2fx "
+                "(floor %.2fx)\n",
+                m.enumSpeedup(), sp_base, floor);
+    if (m.enumSpeedup() < floor) {
+      std::fprintf(stderr,
+                   "FAIL: action-index enumeration speedup regressed: "
+                   "%.2fx < %.2fx\n",
+                   m.enumSpeedup(), floor);
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -204,9 +330,20 @@ int main(int argc, char** argv) {
               static_cast<long long>(m.candidates), m.kernels.size());
   std::printf("modern  %10.1f ms  %12.0f candidates/sec\n", m.modern_ms,
               m.modern_cps());
+  std::printf("noindex %10.1f ms  %12.0f candidates/sec\n", m.noindex_ms,
+              m.noindex_cps());
   std::printf("legacy  %10.1f ms  %12.0f candidates/sec\n", m.legacy_ms,
               m.legacy_cps());
   std::printf("overhead %.2fx (modern wall / legacy wall)\n", m.overhead());
+  std::printf("index    %.2fx (noindex wall / modern wall)\n", m.indexRatio());
+  std::printf("enum    %10.1f ms indexed vs %10.1f ms full  %12.0f "
+              "actions/sec  %.2fx\n",
+              m.enum_indexed_ms, m.enum_full_ms,
+              m.enum_indexed_ms > 0
+                  ? 1e3 * static_cast<double>(m.enum_actions) /
+                        m.enum_indexed_ms
+                  : 0,
+              m.enumSpeedup());
   const std::string json = perfdojo::toJson(m);
   std::ofstream(out) << json;
   std::printf("wrote %s: %s", out.c_str(), json.c_str());

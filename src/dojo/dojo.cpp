@@ -22,11 +22,21 @@ double Dojo::evaluate(const ir::Program& p) const {
 }
 
 std::vector<transform::Action> Dojo::moves() const {
-  return transform::allActions(program(), machine_->caps());
+  if (!transform::ActionSet::defaultEnabled())
+    return transform::allActions(program(), machine_->caps());
+  if (!moves_fresh_) {
+    moves_index_.bind(program(), machine_->caps());
+    moves_fresh_ = true;
+  }
+  return moves_index_.actions();
 }
 
 void Dojo::play(const transform::Action& a) {
   history_.push(a);
+  // Splice the move index from the same summary the history's canonical
+  // hash was updated with — before verify can throw, so the index never
+  // describes a stale state.
+  if (moves_fresh_) moves_index_.update(program(), history_.lastMutation());
   if (opts_.verify_moves) {
     const auto r = verify::verifyEquivalent(history_.original(), program());
     require(r.equivalent,
@@ -38,6 +48,7 @@ void Dojo::play(const transform::Action& a) {
 
 void Dojo::undo() {
   history_.undo();
+  moves_fresh_ = false;  // replayed state: re-bind lazily on the next moves()
   runtime_ = evaluate(program());
   // best_* intentionally kept: undoing exploration does not forget the best
   // implementation found (the game's objective is the best state visited).

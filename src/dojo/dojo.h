@@ -9,6 +9,7 @@
 #include <string>
 
 #include "machines/machine.h"
+#include "transform/action_set.h"
 #include "transform/history.h"
 #include "transform/transform.h"
 
@@ -50,7 +51,11 @@ class Dojo {
   /// Move index (into the history) after which the best program was reached.
   std::size_t bestStep() const { return best_step_; }
 
-  /// All applicable moves in the current state.
+  /// All applicable moves in the current state. Backed by an incrementally
+  /// maintained transform::ActionSet: play() splices the index from the
+  /// move's mutation summary instead of re-enumerating the whole program,
+  /// and repeated calls on an unchanged state are a copy, not a re-walk.
+  /// The list is element-identical (same order) to a fresh enumeration.
   std::vector<transform::Action> moves() const;
 
   /// Applies a move. Throws on inapplicable moves; with verify_moves also
@@ -71,6 +76,12 @@ class Dojo {
   const machines::Machine* machine_;
   DojoOptions opts_;
   transform::History history_;
+  /// Move index for the current state; `moves_fresh_` says whether it
+  /// describes history_.current() (play keeps it fresh via update, undo and
+  /// sequence edits invalidate it; moves() re-binds lazily). Mutable: the
+  /// index is a cache of derivable state, so moves() stays const.
+  mutable transform::ActionSet moves_index_;
+  mutable bool moves_fresh_ = false;
   double runtime_ = 0;
   ir::Program best_program_;
   double best_runtime_ = 0;

@@ -92,6 +92,147 @@ void renderFresh(const Node& n, int depth, std::vector<NodeId>& chain,
 
 }  // namespace
 
+void CanonicalArena::rebase(const Program& q, const MutationSummary& mut) {
+  if (!bound_ || mut.whole_tree || containsId(mut.dirty_scopes, q.root.id)) {
+    bind(q);
+    return;
+  }
+  dirty_slots_.clear();
+  for (NodeId id : mut.dirty_scopes) {
+    const std::int32_t s = slotOf(id);
+    if (s < 0) {
+      bind(q);
+      return;
+    }
+    dirty_slots_.push_back(static_cast<std::uint32_t>(s));
+  }
+  std::sort(dirty_slots_.begin(), dirty_slots_.end());
+
+  // Move the bound arena aside; the walk below reads the old columns while
+  // rebuilding the members in place.
+  const std::vector<NodeId> old_id = std::move(id_);
+  const std::vector<std::uint32_t> old_end = std::move(subtree_end_);
+  const std::vector<std::uint32_t> old_lb = std::move(line_begin_);
+  const std::vector<std::int32_t> old_parent = std::move(parent_);
+  const std::vector<std::uint16_t> old_depth = std::move(depth_);
+  const std::vector<std::uint8_t> old_scope = std::move(is_scope_);
+  const std::vector<std::uint8_t> old_anno = std::move(anno_);
+  const std::vector<std::int64_t> old_extent = std::move(extent_);
+  const std::vector<std::int32_t> old_slot = std::move(slot_of_id_);
+  const std::string old_text = std::move(text_);
+  id_.clear();
+  subtree_end_.clear();
+  line_begin_.clear();
+  parent_.clear();
+  depth_.clear();
+  is_scope_.clear();
+  anno_.clear();
+  extent_.clear();
+  text_.clear();
+  id_.reserve(old_id.size());
+
+  auto oldSlotOf = [&](NodeId id) -> std::int32_t {
+    return id < old_slot.size() ? old_slot[id] : -1;
+  };
+  auto dirtyIn = [&](std::uint32_t begin, std::uint32_t end) {
+    auto it = std::lower_bound(dirty_slots_.begin(), dirty_slots_.end(), begin);
+    return it != dirty_slots_.end() && *it < end;
+  };
+
+  // Bulk-copies a whole clean old subtree [ob, oe): every column entry moves
+  // by a constant slot delta, every byte offset by a constant byte delta,
+  // and the slab bytes are one append. Both deltas may be negative (an
+  // earlier dirty subtree can shrink).
+  auto copyBlock = [&](std::uint32_t ob, std::uint32_t oe,
+                       std::int32_t parent) {
+    const std::int32_t slot_delta =
+        static_cast<std::int32_t>(id_.size()) - static_cast<std::int32_t>(ob);
+    const std::int64_t byte_delta = static_cast<std::int64_t>(text_.size()) -
+                                    static_cast<std::int64_t>(old_lb[ob]);
+    for (std::uint32_t s = ob; s < oe; ++s) {
+      id_.push_back(old_id[s]);
+      parent_.push_back(s == ob ? parent : old_parent[s] + slot_delta);
+      depth_.push_back(old_depth[s]);
+      is_scope_.push_back(old_scope[s]);
+      anno_.push_back(old_anno[s]);
+      extent_.push_back(old_extent[s]);
+      subtree_end_.push_back(
+          static_cast<std::uint32_t>(old_end[s] + slot_delta));
+      line_begin_.push_back(
+          static_cast<std::uint32_t>(old_lb[s] + byte_delta));
+    }
+    text_.append(old_text, old_lb[ob], old_lb[oe] - old_lb[ob]);
+  };
+
+  chain_buf_.clear();
+  // Renders a dirty (or newly created) subtree exactly like bind()'s
+  // flatten.
+  auto fresh = [&](auto&& self, const Node& n, std::int32_t parent,
+                   int depth) -> void {
+    const std::int32_t slot = static_cast<std::int32_t>(id_.size());
+    id_.push_back(n.id);
+    parent_.push_back(parent);
+    depth_.push_back(static_cast<std::uint16_t>(depth));
+    is_scope_.push_back(n.isScope() ? 1 : 0);
+    anno_.push_back(static_cast<std::uint8_t>(n.anno));
+    extent_.push_back(n.extent);
+    subtree_end_.push_back(0);
+    line_begin_.push_back(static_cast<std::uint32_t>(text_.size()));
+    text_ += printNodeLine(n, depth, chain_buf_);
+    if (n.isScope()) {
+      chain_buf_.push_back(n.id);
+      for (const auto& c : n.children) self(self, c, slot, depth + 1);
+      chain_buf_.pop_back();
+    }
+    subtree_end_[slot] = static_cast<std::uint32_t>(id_.size());
+  };
+  auto walk = [&](auto&& self, const Node& n, std::int32_t parent,
+                  int depth) -> void {
+    if (containsId(mut.dirty_scopes, n.id)) {
+      fresh(fresh, n, parent, depth);
+      return;
+    }
+    const std::int32_t os = oldSlotOf(n.id);
+    if (os >= 0 && !dirtyIn(static_cast<std::uint32_t>(os), old_end[os])) {
+      copyBlock(static_cast<std::uint32_t>(os), old_end[os], parent);
+      return;
+    }
+    // Spine node (own line clean, dirt strictly below) or a clean node the
+    // base never had (inadequate report — render it, stay byte-correct).
+    const std::int32_t slot = static_cast<std::int32_t>(id_.size());
+    id_.push_back(n.id);
+    parent_.push_back(parent);
+    depth_.push_back(static_cast<std::uint16_t>(depth));
+    is_scope_.push_back(n.isScope() ? 1 : 0);
+    anno_.push_back(static_cast<std::uint8_t>(n.anno));
+    extent_.push_back(n.extent);
+    subtree_end_.push_back(0);
+    line_begin_.push_back(static_cast<std::uint32_t>(text_.size()));
+    if (os >= 0)
+      text_.append(old_text, old_lb[os], old_lb[os + 1] - old_lb[os]);
+    else
+      text_ += printNodeLine(n, depth, chain_buf_);
+    if (n.isScope()) {
+      chain_buf_.push_back(n.id);
+      for (const auto& c : n.children) self(self, c, slot, depth + 1);
+      chain_buf_.pop_back();
+    }
+    subtree_end_[slot] = static_cast<std::uint32_t>(id_.size());
+  };
+  for (const auto& c : q.root.children) walk(walk, c, -1, 0);
+  line_begin_.push_back(static_cast<std::uint32_t>(text_.size()));
+
+  slot_of_id_.assign(q.next_id, -1);
+  for (std::size_t s = 0; s < id_.size(); ++s)
+    if (id_[s] < slot_of_id_.size())
+      slot_of_id_[id_[s]] = static_cast<std::int32_t>(s);
+
+  if (mut.buffers_changed) header_ = canonicalHeaderText(q);
+  std::uint64_t h = fnv1a(header_.data(), header_.size());
+  hash_ = fnv1a(text_.data(), text_.size(), h);
+  bound_ = true;
+}
+
 std::uint64_t CanonicalArena::probe(const Program& q,
                                     const MutationSummary& mut) const {
   if (!bound_ || mut.whole_tree || containsId(mut.dirty_scopes, q.root.id))

@@ -66,6 +66,16 @@ class CanonicalArena {
   /// report naming nodes the arena has never seen).
   std::uint64_t probe(const Program& q, const MutationSummary& mut) const;
 
+  /// Re-binds the arena IN PLACE to a program `q` mutated *away from* the
+  /// bound one — the accepted-move path. Columns and slab bytes of clean
+  /// subtrees are bulk-copied with slot/byte deltas (memory-bound, no
+  /// rendering); only the reported-dirty subtrees are re-rendered, exactly
+  /// the regions probe() would have rendered. Falls back to bind(q) on
+  /// conservative summaries. Afterwards the arena is indistinguishable from
+  /// a fresh bind(q): hash(), text() and every accessor agree bit-for-bit
+  /// (the property suite checks this column by column).
+  void rebase(const Program& q, const MutationSummary& mut);
+
   // --- SoA accessors (slot = dense pre-order index, excluding the root) ---
 
   std::size_t size() const { return id_.size(); }

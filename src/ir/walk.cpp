@@ -105,6 +105,15 @@ std::vector<Node*> collectScopes(Node& root) {
   return out;
 }
 
+std::vector<const Node*> collectScopesWithin(const Node& root, NodeId id) {
+  std::vector<const Node*> out;
+  const Node* sub = findNode(root, id);
+  if (sub == nullptr) return out;
+  if (sub->id != root.id && sub->isScope()) out.push_back(sub);
+  collectScopesImpl(*sub, out, true);
+  return out;
+}
+
 void visit(const Node& root, const std::function<void(const Node&)>& fn) {
   fn(root);
   for (const auto& c : root.children) visit(c, fn);

@@ -39,6 +39,12 @@ std::vector<Node*> collectOps(Node& root);
 std::vector<const Node*> collectScopes(const Node& root);
 std::vector<Node*> collectScopes(Node& root);
 
+/// Scope nodes in pre-order within the subtree rooted at `id`, including the
+/// subtree root itself when it is a scope other than the root container —
+/// exactly the subsequence of collectScopes(root) lying inside that subtree.
+/// Empty if `id` is absent. Scoped transform enumeration builds on this.
+std::vector<const Node*> collectScopesWithin(const Node& root, NodeId id);
+
 /// Visits every node (pre-order, including root).
 void visit(const Node& root, const std::function<void(const Node&)>& fn);
 void visitMut(Node& root, const std::function<void(Node&)>& fn);

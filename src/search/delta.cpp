@@ -10,6 +10,7 @@ namespace perfdojo::search {
 namespace {
 
 std::atomic<bool> g_default_use_arena{true};
+std::atomic<bool> g_default_use_rebase{true};
 
 void indexNodes(const ir::Node& n, std::vector<const ir::Node*>& index) {
   if (n.id < index.size()) index[n.id] = &n;
@@ -24,6 +25,14 @@ void DeltaContext::setDefaultUseArena(bool v) {
 
 bool DeltaContext::defaultUseArena() {
   return g_default_use_arena.load(std::memory_order_relaxed);
+}
+
+void DeltaContext::setDefaultUseRebase(bool v) {
+  g_default_use_rebase.store(v, std::memory_order_relaxed);
+}
+
+bool DeltaContext::defaultUseRebase() {
+  return g_default_use_rebase.load(std::memory_order_relaxed);
 }
 
 void DeltaContext::bind(const ir::Program& base) {
@@ -42,6 +51,11 @@ void DeltaContext::bind(const ir::Program& base) {
 }
 
 std::uint64_t DeltaContext::neighborHash(const transform::Action& a) {
+  return neighborVisit(a, nullptr);
+}
+
+std::uint64_t DeltaContext::neighborVisit(const transform::Action& a,
+                                          const NeighborVisitor& visit) {
   require(bound_, "DeltaContext: bind() a base program first");
   ++stats_.neighbors_hashed;
   ir::MutationSummary mut;
@@ -56,6 +70,9 @@ std::uint64_t DeltaContext::neighborHash(const transform::Action& a) {
     // throughout.
     const std::uint64_t h =
         use_arena_ ? arena_.probe(scratch_, mut) : inc_.probe(scratch_, mut);
+    // The scratch tree IS the candidate right now; let the caller price it
+    // in place before the undo recycles its storage.
+    if (visit) visit(h, scratch_);
     undo(mut);
     return h;
   } catch (...) {
@@ -66,6 +83,76 @@ std::uint64_t DeltaContext::neighborHash(const transform::Action& a) {
     scratch_ = base_;
     throw;
   }
+}
+
+const ir::Program& DeltaContext::accept(const transform::Action& a,
+                                        ir::MutationSummary* mut_out) {
+  require(bound_, "DeltaContext: bind() a base program first");
+  ir::MutationSummary mut;
+  try {
+    // validate=false skips only the post-mutation structural validation (an
+    // O(program) walk with string rendering — the hot cost of an accepted
+    // move): applyInPlace still requires isApplicable on this exact base, so
+    // stale or forged locations throw either way, and transform-apply bugs
+    // are the apply/interp oracle layers' and the property suite's job, on
+    // every path including this one.
+    a.transform->applyInPlace(scratch_, a.loc, &mut, /*validate=*/false);
+  } catch (...) {
+    scratch_ = base_;  // context keeps describing the old base, usable
+    throw;
+  }
+  ++stats_.accepts;
+  if (mut_out) *mut_out = mut;
+  if (use_rebase_) {
+    if (use_arena_) {
+      arena_.rebase(scratch_, mut);
+      base_hash_ = arena_.hash();
+    } else {
+      inc_.update(scratch_, mut);
+      base_hash_ = inc_.hash();
+    }
+    // Fold the accepted mutation into base_ — the undo in reverse: copy only
+    // the reported-dirty subtree instead of the whole program. Multi-root
+    // reports fall back to the full copy (roots may nest, and a prior fold
+    // would invalidate the base index entries under an outer root).
+    if (!mut.whole_tree && mut.dirty_scopes.size() == 1) {
+      if (mut.buffers_changed) base_.buffers = scratch_.buffers;
+      base_.next_id = scratch_.next_id;
+      const ir::NodeId id = mut.dirty_scopes.front();
+      if (id == scratch_.root.id) {
+        base_.root = scratch_.root;
+      } else {
+        ir::Node* dst;
+        const ir::Node* src;
+        if (use_arena_) {
+          // The arena was just rebased, so its chains describe scratch_ (the
+          // NEW tree); the base index still describes the old base.
+          src = locateScratch(id);
+          dst = id < base_index_.size()
+                    ? const_cast<ir::Node*>(base_index_[id])
+                    : nullptr;
+        } else {
+          src = ir::findNode(scratch_.root, id);
+          dst = ir::findNode(base_.root, id);
+        }
+        require(dst != nullptr && src != nullptr,
+                "DeltaContext: dirty subtree " + std::to_string(id) +
+                    " missing during accept (bad mutation report)");
+        *dst = *src;
+      }
+    } else {
+      base_ = scratch_;
+    }
+    if (use_arena_) {
+      base_index_.assign(base_.next_id, nullptr);
+      indexNodes(base_.root, base_index_);
+    }
+  } else {
+    ++stats_.accept_rebinds;
+    const ir::Program next = std::move(scratch_);
+    bind(next);
+  }
+  return base_;
 }
 
 ir::Node* DeltaContext::locateScratch(ir::NodeId id) {

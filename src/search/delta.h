@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ir/arena.h"
@@ -38,6 +39,10 @@ struct DeltaStats {
   /// Neighbors whose transform reported conservatively (whole-program
   /// re-render on both the forward and the undo update).
   std::int64_t whole_tree_fallbacks = 0;
+  /// Accepted moves committed through accept().
+  std::int64_t accepts = 0;
+  /// accept() calls that re-bound from scratch (--no-rebase escape hatch).
+  std::int64_t accept_rebinds = 0;
 };
 
 class DeltaContext {
@@ -56,6 +61,16 @@ class DeltaContext {
   static void setDefaultUseArena(bool v);
   static bool defaultUseArena();
 
+  /// Selects how accept() re-binds the canonical form: in place from the
+  /// mutation summary (default) or from scratch (--no-rebase). Hashes are
+  /// bit-identical either way.
+  void setUseRebase(bool v) { use_rebase_ = v; }
+  bool usesRebase() const { return use_rebase_; }
+
+  /// Process-wide default for the accept() path, mirroring the arena flag.
+  static void setDefaultUseRebase(bool v);
+  static bool defaultUseRebase();
+
   /// Fixes the base program; copies it twice (base + scratch) and renders
   /// its canonical form once. Amortized over every neighbor hashed from it.
   void bind(const ir::Program& base);
@@ -72,10 +87,41 @@ class DeltaContext {
   /// the next neighborHash is bit-exact.
   std::uint64_t neighborHash(const transform::Action& a);
 
+  /// Read-only visitor over a live neighbor: (canonical hash, the mutated
+  /// scratch tree). The program reference is valid only for the duration of
+  /// the call — the undo that follows reuses its storage.
+  using NeighborVisitor =
+      std::function<void(std::uint64_t, const ir::Program&)>;
+
+  /// neighborHash() that additionally hands the mutated scratch tree to
+  /// `visit` between the probe and the undo. The visited program is
+  /// content-identical to materialize(a) — so a cost model evaluated inside
+  /// the visitor prices the candidate WITHOUT the second apply and the full
+  /// base copy that materialize() pays. Same exception contract as
+  /// neighborHash: any throw (including from the visitor) resynchronizes the
+  /// scratch state before propagating.
+  std::uint64_t neighborVisit(const transform::Action& a,
+                              const NeighborVisitor& visit);
+
   /// The full validated program for a winning candidate.
   ir::Program materialize(const transform::Action& a) const {
     return a.apply(base_);
   }
+
+  /// Commits an accepted action: the context's base BECOMES a.apply(base()).
+  /// The mutation is applied (validated) in place on the scratch tree and
+  /// the canonical form is REBASED from the mutation summary — clean slabs
+  /// and columns move, only dirty subtrees re-render — instead of being
+  /// rebuilt from scratch, making acceptance O(dirty subtree) like pricing.
+  /// With setUseRebase(false) it degrades to bind(a.apply(base())). Either
+  /// way the context afterwards is indistinguishable from a fresh bind of
+  /// the new base (bit-identical hashes). Throws if the action does not
+  /// apply; the context then still describes the OLD base, fully usable.
+  /// Returns the new base; `mut_out` (optional) receives the mutation
+  /// summary so callers can splice their own per-base indices (the search
+  /// loop's ActionSet) from the same report.
+  const ir::Program& accept(const transform::Action& a,
+                            ir::MutationSummary* mut_out = nullptr);
 
   const DeltaStats& stats() const { return stats_; }
 
@@ -95,6 +141,7 @@ class DeltaContext {
   std::vector<ir::NodeId> chain_buf_;
   std::uint64_t base_hash_ = 0;
   bool use_arena_ = defaultUseArena();
+  bool use_rebase_ = defaultUseRebase();
   bool bound_ = false;
   DeltaStats stats_;
 };

@@ -7,11 +7,13 @@
 #include <utility>
 
 #include "ir/canonical.h"
+#include "ir/incremental.h"
 #include "search/delta.h"
 #include "search/parallel_eval.h"
 #include "support/common.h"
 #include "support/numeric.h"
 #include "support/telemetry.h"
+#include "transform/action_set.h"
 
 namespace perfdojo::search {
 
@@ -57,6 +59,30 @@ ir::Program replayOrThrow(const ir::Program& kernel,
   require(p.has_value(),
           "exact tier: recorded trajectory failed to replay: " + rr.message);
   return std::move(*p);
+}
+
+/// Re-materializes a frontier entry while splicing its action index along:
+/// `aset` starts as a copy of the kernel-bound set and is updated from each
+/// replayed step's mutation summary — one splice per step instead of a full
+/// 20-transform enumeration of the final program. The resulting list is
+/// element-identical to allActions on the replayed program.
+ir::Program replayIndexed(const ir::Program& kernel,
+                          const std::vector<Step>& steps,
+                          const transform::ActionSet& kernel_set,
+                          transform::ActionSet& aset) {
+  aset = kernel_set;
+  ir::Program p = kernel;
+  for (const Step& s : steps) {
+    ir::MutationSummary mut;
+    try {
+      s.transform->applyInPlace(p, s.loc, &mut, /*validate=*/true);
+    } catch (const std::exception& e) {
+      require(false, "exact tier: recorded trajectory failed to replay: " +
+                         std::string(e.what()));
+    }
+    aset.update(p, mut);
+  }
+  return p;
 }
 
 std::string witnessJson(const std::vector<Step>& steps) {
@@ -174,6 +200,14 @@ ExactResult runExact(const ir::Program& kernel, const machines::Machine& m,
                             .boolean("dedup", cfg.dedup)
                             .boolean("delta", cfg.use_delta));
 
+  // Kernel action index, bound once and copied per worker replay (each
+  // worker owns its copy, so the shared one stays untouched). The maintained
+  // lists are element-identical to fresh enumerations, so visit order,
+  // dedup sequence and certificates are bit-identical index on or off.
+  const bool use_index = transform::ActionSet::defaultEnabled();
+  transform::ActionSet kernel_set;
+  if (use_index) kernel_set.bind(kernel, caps);
+
   double best_cost = base_cost;
   std::vector<Step> best_steps;
   const std::uint64_t root_hash = ir::canonicalHash(kernel);
@@ -197,8 +231,14 @@ ExactResult runExact(const ir::Program& kernel, const machines::Machine& m,
       std::vector<Expansion> ex(n);
       auto expand = [&](std::size_t i) {
         const Entry& e = frontier[base + i];
-        ex[i].program = replayOrThrow(kernel, e.steps);
-        ex[i].actions = transform::allActions(ex[i].program, caps);
+        if (use_index) {
+          transform::ActionSet aset;
+          ex[i].program = replayIndexed(kernel, e.steps, kernel_set, aset);
+          ex[i].actions = aset.actions();
+        } else {
+          ex[i].program = replayOrThrow(kernel, e.steps);
+          ex[i].actions = transform::allActions(ex[i].program, caps);
+        }
         ex[i].hashes.resize(ex[i].actions.size());
         if (cfg.use_delta) {
           DeltaContext dctx;

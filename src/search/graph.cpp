@@ -4,11 +4,13 @@
 #include <deque>
 
 #include "ir/canonical.h"
+#include "ir/incremental.h"
 #include "search/delta.h"
 #include "search/evalcache.h"
 #include "search/parallel_eval.h"
 #include "support/common.h"
 #include "support/strings.h"
+#include "transform/action_set.h"
 
 namespace perfdojo::search {
 
@@ -40,6 +42,20 @@ TransformationGraph::TransformationGraph(const ir::Program& root,
   std::deque<std::uint64_t> frontier;
   if (max_depth > 0) frontier.push_back(root_hash_);
   DeltaContext delta;
+  // Incremental enumeration: BFS expands all children of one parent
+  // consecutively, so one ActionSet bound to that parent derives every
+  // sibling's action list by replaying the producing action and splicing
+  // from its mutation summary — one full enumeration per PARENT instead of
+  // one per node. `via` remembers which (parent, action) produced each
+  // enqueued node; the maintained lists are element-identical to a fresh
+  // allActions, so the expansion order and the dedup sequence are
+  // bit-identical with the index on or off.
+  const bool use_index = transform::ActionSet::defaultEnabled();
+  transform::ActionSet parent_set;
+  std::uint64_t parent_set_key = 0;
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, transform::Action>>
+      via;
+  transform::ActionSet aset;
   while (!frontier.empty() && nodes_.size() < max_nodes) {
     const std::uint64_t h = frontier.front();
     frontier.pop_front();
@@ -47,7 +63,32 @@ TransformationGraph::TransformationGraph(const ir::Program& root,
     const int depth = n.depth;
     // Copy the program out: expanding mutates the node map.
     const ir::Program p = n.program;
-    const auto actions = transform::allActions(p, m.caps());
+    std::vector<transform::Action> own_actions;
+    if (use_index) {
+      const auto vit = via.find(h);
+      if (vit != via.end()) {
+        const std::uint64_t qh = vit->second.first;
+        if (!parent_set.bound() || parent_set_key != qh) {
+          parent_set.bind(nodes_.at(qh).program, m.caps());
+          parent_set_key = qh;
+        }
+        // apply() assigns ids deterministically from the same parent, so
+        // the replayed summary's ids match the stored program `p` exactly.
+        aset = parent_set;
+        ir::Program scratch = nodes_.at(qh).program;
+        ir::MutationSummary mut;
+        vit->second.second.transform->applyInPlace(
+            scratch, vit->second.second.loc, &mut, /*validate=*/false);
+        aset.update(p, mut);
+        via.erase(vit);
+      } else {
+        aset.bind(p, m.caps());
+      }
+    } else {
+      own_actions = transform::allActions(p, m.caps());
+    }
+    const std::vector<transform::Action>& actions =
+        use_index ? aset.actions() : own_actions;
 
     // Phase 1: identify every child by canonical hash + edge label. The
     // delta path hashes each action in place against `p` (no tree copies;
@@ -88,7 +129,10 @@ TransformationGraph::TransformationGraph(const ir::Program& root,
       node.program = std::move(c.program);  // empty placeholder under delta
       node.depth = depth + 1;
       parent_[c.hash] = {h, c.label};
-      if (node.depth < max_depth) frontier.push_back(c.hash);
+      if (node.depth < max_depth) {
+        frontier.push_back(c.hash);
+        if (use_index) via.emplace(c.hash, std::make_pair(h, actions[i]));
+      }
       nodes_[c.hash] = std::move(node);
       fresh.push_back(c.hash);
       fresh_action.push_back(i);

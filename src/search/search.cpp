@@ -9,8 +9,10 @@
 #include <unordered_set>
 
 #include "ir/canonical.h"
+#include "ir/incremental.h"
 #include "ir/walk.h"
 #include "search/delta.h"
+#include "transform/action_set.h"
 #include "search/evalcache.h"
 #include "search/parallel_eval.h"
 #include "search/pass.h"
@@ -167,6 +169,26 @@ class Eval {
     }
     prog.emplace(make());
     v = timedEvaluate(*prog);
+    ++machine_evals_;
+    cache_->insert(m_, h, v);
+    return v;
+  }
+
+  /// costHashed for a caller that is holding the candidate live (the delta
+  /// scratch tree during a neighborVisit): a memo miss evaluates `p` right
+  /// there instead of materializing a copy. Counter effects are identical to
+  /// costHashed/cost on a materialized copy — the model sees the same
+  /// program content — so decisions, stats and telemetry cannot tell the
+  /// paths apart. Callers must ensure memoizing().
+  double costInPlace(std::uint64_t h, const ir::Program& p) {
+    ++requested_;
+    noteUnique(h);
+    double v;
+    if (cache_->lookup(m_, h, v)) {
+      ++hits_;
+      return v;
+    }
+    v = timedEvaluate(p);
     ++machine_evals_;
     cache_->insert(m_, h, v);
     return v;
@@ -397,6 +419,13 @@ void randomSamplingEdges(const ir::Program& kernel,
   tr.record(kernel, t0);
   pool.push_back({kernel, poolRuntime(t0), poolRuntime(t0)});
   DeferredEvals batch(ev, tr);
+  // The weighted draw concentrates on fast parents, so the same pool entry
+  // is drawn many times in a row; with the action index on, its enumeration
+  // is bound once and reused until the draw moves on (pool entries are
+  // immutable, so the cached list stays exact).
+  const bool use_index = cfg.use_action_index;
+  transform::ActionSet aset;
+  std::size_t cached_pi = static_cast<std::size_t>(-1);
   // Parent draws depend only on parent_runtime values (known at submission
   // time), never on a candidate's own cost, so evaluations can lag behind
   // proposals by a full batch without changing any decision.
@@ -409,7 +438,15 @@ void randomSamplingEdges(const ir::Program& kernel,
     const std::size_t pi = rng.weightedIndex(w);
     if (pool[pi].runtime == kPendingRuntime) batch.flush();
     const auto& parent = pool[pi];
-    auto actions = transform::allActions(parent.program, m.caps());
+    std::vector<Action> own_actions;
+    if (use_index && pi != cached_pi) {
+      aset.bind(parent.program, m.caps());
+      cached_pi = pi;
+    }
+    if (!use_index)
+      own_actions = transform::allActions(parent.program, m.caps());
+    const std::vector<Action>& actions =
+        use_index ? aset.actions() : own_actions;
     if (actions.empty()) {
       ++barren;  // a dead-end parent may be drawn forever; bound the retries
       continue;
@@ -426,6 +463,7 @@ void randomSamplingEdges(const ir::Program& kernel,
     if (pool.size() > 4096) {
       batch.flush();  // resolve slot indices before compacting
       pool.erase(pool.begin(), pool.begin() + 1024);
+      cached_pi = static_cast<std::size_t>(-1);  // indices shifted
     }
   }
   batch.flush();
@@ -517,10 +555,14 @@ void primeNeighbors(const std::vector<Action>& actions,
 void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
                     const SearchConfig& cfg, Eval& ev, Tracker& tr) {
   Rng rng(cfg.seed);
-  ir::Program cur = kernel;
-  double cur_rt = ev.cost(cur);
+  // `own` holds the current state on the non-delta paths; on the delta path
+  // the accepted state lives in the DeltaContext's base and `cur` aims at it
+  // directly, so an accepted move never copies the program back out.
+  ir::Program own = kernel;
+  const ir::Program* cur = &own;
+  double cur_rt = ev.cost(*cur);
   const double base_rt = cur_rt;
-  tr.record(cur, cur_rt);
+  tr.record(*cur, cur_rt);
   double temp = cfg.sa_t0;
   int steps = 0;
   // The action list of `cur` is stable while `cur` is unchanged (enumeration
@@ -528,38 +570,68 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
   // action's candidate cost is memoized per state: a re-drawn action costs a
   // table lookup instead of an apply + evaluate. Cost values are identical,
   // so the decision sequence matches a memo-free run exactly.
-  std::vector<Action> actions = transform::allActions(cur, m.caps());
+  //
+  // With the action index on, that list is not even re-enumerated on an
+  // accepted move: the ActionSet splices it from the mutation summary and
+  // `actions` points at its maintained storage. The maintained list is
+  // element-identical to a fresh enumeration, so ai-indexed draws land on
+  // the same action either way.
+  const bool use_index = cfg.use_action_index;
+  transform::ActionSet aset;
+  std::vector<Action> own_actions;
+  const std::vector<Action>* actions = nullptr;
+  if (use_index) {
+    aset.bind(*cur, m.caps());
+    actions = &aset.actions();
+  } else {
+    own_actions = transform::allActions(*cur, m.caps());
+    actions = &own_actions;
+  }
   std::vector<double> action_cost;
-  action_cost.assign(actions.size(), kPendingRuntime);
+  action_cost.assign(actions->size(), kPendingRuntime);
   // Delta path: with the memo table available, fresh neighbors are hashed
-  // incrementally against the accepted state and materialized into a full
-  // tree copy only on a memo miss or an accepted move. The hash is
-  // bit-identical to canonicalHash(apply(cur)), so the decision sequence,
-  // counters and telemetry match the copy-based path exactly.
+  // incrementally against the accepted state and model-priced in place on
+  // the delta scratch — a full tree copy happens only on an accepted move
+  // or a new best. The hash is bit-identical to canonicalHash(apply(cur)),
+  // so the decision sequence, counters and telemetry match the copy-based
+  // path exactly.
   const bool use_delta = cfg.use_delta && ev.memoizing();
   const bool batch = cfg.batch_neighbors && ev.memoizing();
   DeltaContext dctx;
   dctx.setUseArena(cfg.use_arena);
-  if (use_delta) dctx.bind(cur);
+  dctx.setUseRebase(cfg.use_rebase);
+  if (use_delta) {
+    dctx.bind(*cur);
+    cur = &dctx.base();
+  }
   int rejects_here = 0;    // consecutive rejections at the current state
   bool primed_here = false;  // this state's neighbor set already primed
   while (!tr.exhausted()) {
-    if (actions.empty() || steps >= cfg.max_steps) {
-      cur = kernel;  // restart from the source program
+    if (actions->empty() || steps >= cfg.max_steps) {
+      own = kernel;  // restart from the source program
+      cur = &own;
       cur_rt = base_rt;
       steps = 0;
-      actions = transform::allActions(cur, m.caps());
-      action_cost.assign(actions.size(), kPendingRuntime);
+      if (use_delta) {
+        dctx.bind(*cur);
+        cur = &dctx.base();
+      }
+      if (use_index) {
+        aset.bind(*cur, m.caps());
+        actions = &aset.actions();
+      } else {
+        own_actions = transform::allActions(*cur, m.caps());
+      }
+      action_cost.assign(actions->size(), kPendingRuntime);
       rejects_here = 0;
       primed_here = false;
-      if (use_delta) dctx.bind(cur);
-      if (actions.empty()) {
+      if (actions->empty()) {
         tr.reason = TerminationReason::Stall;
         break;  // nothing applicable at the root: done
       }
       continue;
     }
-    const std::size_t ai = rng.uniform(actions.size());
+    const std::size_t ai = rng.uniform(actions->size());
     double rt;
     std::optional<ir::Program> cand;
     const bool memo_hit = ev.memoizing() && action_cost[ai] != kPendingRuntime;
@@ -569,20 +641,23 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
       // set best_runtime <= rt, so the lazy record can never materialize.
       rt = action_cost[ai];
       ev.countMemoHit();
-      tr.record(rt, [&] { return actions[ai].apply(cur); });
+      tr.record(rt, [&] { return (*actions)[ai].apply(*cur); });
     } else if (use_delta) {
-      const std::uint64_t h = dctx.neighborHash(actions[ai]);
-      rt = ev.costHashed(h, cand,
-                         [&] { return dctx.materialize(actions[ai]); });
+      // Price the neighbor while it is still live in the delta scratch: the
+      // probe pass already applied it, so a memo miss evaluates the model in
+      // place instead of paying materialize() (a full base copy plus a
+      // second, validated apply). The hash and the evaluated content are
+      // identical to the materialized path, so decisions/counters match.
+      dctx.neighborVisit((*actions)[ai],
+                         [&](std::uint64_t h, const ir::Program& q) {
+                           rt = ev.costInPlace(h, q);
+                         });
       action_cost[ai] = rt;
-      if (cand)
-        tr.record(*cand, rt);
-      else
-        // Memo hit (possibly via a cache shared with other runs): let the
-        // tracker materialize lazily iff the candidate improves the best.
-        tr.record(rt, [&] { return actions[ai].apply(cur); });
+      // The tracker materializes lazily iff the candidate improves the best
+      // (identical program: cur IS the delta base).
+      tr.record(rt, [&] { return (*actions)[ai].apply(*cur); });
     } else {
-      cand = actions[ai].apply(cur);
+      cand = (*actions)[ai].apply(*cur);
       rt = ev.cost(*cand);
       action_cost[ai] = rt;
       tr.record(*cand, rt);
@@ -593,28 +668,55 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
       cfg.telemetry->emit(
           Event("sa_step")
               .integer("eval", tr.evals)
-              .str("action", actions[ai].transform->name())
-              .str("loc", transform::locationToText(actions[ai].loc))
+              .str("action", (*actions)[ai].transform->name())
+              .str("loc", transform::locationToText((*actions)[ai].loc))
               .num("runtime", rt)
               .num("delta", delta)
               .num("temp", temp)
               .boolean("accepted", accepted)
               .boolean("memo_hit", memo_hit));
     if (accepted) {
-      cur = cand ? std::move(*cand) : actions[ai].apply(cur);
+      // Copy the chosen action out before anything invalidates the list it
+      // lives in (the ActionSet splice or the re-enumeration below).
+      const Action chosen = (*actions)[ai];
+      ir::MutationSummary mut;
+      bool have_mut = false;
+      if (use_delta) {
+        // accept() applies the move, rebases the canonical form in place
+        // (O(dirty subtree) with the arena) and hands back the summary; the
+        // new base is read through `cur` without copying it out.
+        cur = &dctx.accept(chosen, &mut);
+        have_mut = true;
+      } else if (use_index) {
+        // No delta context to share the apply with, but the index still
+        // wants the summary: apply in place on the owned state directly
+        // (identical program to chosen.apply(*cur)).
+        chosen.transform->applyInPlace(own, chosen.loc, &mut,
+                                       /*validate=*/true);
+        have_mut = true;
+      } else {
+        own = cand ? std::move(*cand) : chosen.apply(own);
+      }
       cur_rt = rt;
       ++steps;
-      actions = transform::allActions(cur, m.caps());
-      action_cost.assign(actions.size(), kPendingRuntime);
+      if (use_index) {
+        if (have_mut)
+          aset.update(*cur, mut);
+        else
+          aset.bind(*cur, m.caps());
+        actions = &aset.actions();
+      } else {
+        own_actions = transform::allActions(*cur, m.caps());
+      }
+      action_cost.assign(actions->size(), kPendingRuntime);
       rejects_here = 0;
       primed_here = false;
-      if (use_delta) dctx.bind(cur);
     } else if (batch && !primed_here &&
                ++rejects_here >= kPrimeAfterRejects) {
       // The walk is stalling on this state: prime the neighbors the cloned
       // RNG says it is about to draw, batching their memo misses.
       primed_here = true;
-      primeNeighbors(actions, action_cost, cur, rng, cfg.budget - tr.evals,
+      primeNeighbors(*actions, action_cost, *cur, rng, cfg.budget - tr.evals,
                      use_delta, dctx, ev);
     }
     temp *= cfg.sa_decay;  // decays once per recorded evaluation

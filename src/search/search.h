@@ -80,6 +80,19 @@ struct SearchConfig {
   /// traces and counters stay bit-identical across those settings. Inert
   /// without a cache. --no-batch disables it.
   bool batch_neighbors = true;
+  /// Incrementally-maintained applicable-action index for the edges
+  /// structure: after an accepted move the action list is spliced from the
+  /// mutation summary (transform::ActionSet) instead of re-enumerated with
+  /// a full allActions pass. The maintained list is element-identical —
+  /// same elements, same order — to a fresh enumeration, so decision
+  /// sequences, traces and certificates are bit-identical with the index on
+  /// or off. --no-action-index disables it.
+  bool use_action_index = true;
+  /// In-place canonical-form rebase on accepted moves (DeltaContext::accept
+  /// + CanonicalArena::rebase): clean slabs and columns move, only dirty
+  /// subtrees re-render. When false (--no-rebase) every acceptance re-binds
+  /// from scratch. Hashes are bit-identical either way.
+  bool use_rebase = true;
   /// Optional JSONL event sink (nullptr = off). Per-evaluation and per-SA-step
   /// events are emitted from the search decision thread only, so for a given
   /// seed the trace is bit-identical at any `threads` setting.

@@ -59,6 +59,7 @@
 #include "support/strings.h"
 #include "support/table.h"
 #include "support/telemetry.h"
+#include "transform/action_set.h"
 
 using namespace perfdojo;
 
@@ -145,6 +146,8 @@ int usage() {
                "  --no-delta <0|1>    1 disables incremental (delta) candidate hashing\n"
                "  --no-arena <0|1>    1 falls back to the per-node line-cache hash backend\n"
                "  --no-batch <0|1>    1 disables batched neighbor pricing (SA prefetch)\n"
+               "  --no-action-index <0|1>  1 re-enumerates actions fully after accepted moves\n"
+               "  --no-rebase <0|1>   1 re-binds the canonical form from scratch on accepts\n"
                "  --emit <fmt>        ir | c | cuda\n"
                "  --out <dir>         libgen / fuzz-witness output directory\n"
                "  --trace-out <file>  append JSONL telemetry events to <file>\n"
@@ -249,6 +252,8 @@ int cmdOptimize(const Args& a) {
     sc.use_delta = a.get("no-delta", "0") != "1";
     sc.use_arena = a.get("no-arena", "0") != "1";
     sc.batch_neighbors = a.get("no-batch", "0") != "1";
+    sc.use_action_index = a.get("no-action-index", "0") != "1";
+    sc.use_rebase = a.get("no-rebase", "0") != "1";
     sc.telemetry = trace.get();
     const auto r = search::runSearch(base, *m, sc);
     tuned = r.best;
@@ -747,6 +752,15 @@ int main(int argc, char** argv) {
   // results are bit-identical, only the hot-path cost differs.
   if (a.get("no-arena", "0") == "1")
     search::DeltaContext::setDefaultUseArena(false);
+  // Same pattern for the accepted-move hot path: --no-action-index switches
+  // every consumer of the maintained action index (SA, sampling pool, graph
+  // expansion, exact frontier, Dojo::moves) back to full re-enumeration, and
+  // --no-rebase makes every DeltaContext accept() re-bind from scratch.
+  // Traces and certificates are bit-identical either way.
+  if (a.get("no-action-index", "0") == "1")
+    transform::ActionSet::setDefaultEnabled(false);
+  if (a.get("no-rebase", "0") == "1")
+    search::DeltaContext::setDefaultUseRebase(false);
   try {
     if (a.command == "list") return cmdList();
     if (a.command == "show") return cmdShow(a);

@@ -21,13 +21,27 @@ using ir::Program;
 
 namespace {
 
-/// Enumerates scope locations passing `ok`.
+/// Enumerates scope locations passing `ok` within the subtree at `r`
+/// (p.root.id = the full program; exact order-preserving subsequence).
 template <typename Ok>
-std::vector<Location> scopeLocations(const Program& p, Ok&& ok) {
+std::vector<Location> scopeLocationsWithin(const Program& p, NodeId r, Ok&& ok) {
   std::vector<Location> out;
-  for (const Node* s : ir::collectScopes(p.root)) {
+  for (const Node* s : ir::collectScopesWithin(p.root, r)) {
     Location loc;
     loc.node = s->id;
+    if (ok(loc)) out.push_back(loc);
+  }
+  return out;
+}
+
+/// The single-node variant: the location at exactly `node`, if it passes.
+template <typename Ok>
+std::vector<Location> scopeLocationAt(const Program& p, NodeId node, Ok&& ok) {
+  std::vector<Location> out;
+  const Node* s = ir::findNode(p.root, node);
+  if (s != nullptr && s->id != p.root.id && s->isScope()) {
+    Location loc;
+    loc.node = node;
     if (ok(loc)) out.push_back(loc);
   }
   return out;
@@ -55,6 +69,31 @@ bool containsAnno(const Node& n, std::initializer_list<LoopAnno> annos) {
 }
 
 class SetAnnoBase : public CheckedTransform {
+ public:
+  // All annotation transforms enumerate the same way — every scope passing a
+  // caps gate plus a per-scope predicate — so the full/scoped/single-node
+  // triple lives here once and subclasses only override capsGate/okWithCaps.
+  std::vector<Location> findApplicable(const Program& p,
+                                       const MachineCaps& caps) const override {
+    return findApplicable(p, caps, p.root.id);
+  }
+
+  std::vector<Location> findApplicable(const Program& p, const MachineCaps& caps,
+                                       ir::NodeId subtree_root) const override {
+    if (!capsGate(caps)) return {};
+    return scopeLocationsWithin(p, subtree_root, [&](const Location& loc) {
+      return okWithCaps(p, caps, loc);
+    });
+  }
+
+  std::vector<Location> findApplicableAt(const Program& p, const MachineCaps& caps,
+                                         ir::NodeId node) const override {
+    if (!capsGate(caps)) return {};
+    return scopeLocationAt(p, node, [&](const Location& loc) {
+      return okWithCaps(p, caps, loc);
+    });
+  }
+
  protected:
   void applyChecked(Program& q, const Location& loc) const override {
     // Only the scope's own line (the anno suffix) changes.
@@ -62,6 +101,15 @@ class SetAnnoBase : public CheckedTransform {
     ir::findNode(q.root, loc.node)->anno = target();
   }
   virtual LoopAnno target() const = 0;
+  /// Machine-level gate: false means this transform offers nothing at all on
+  /// these caps (no per-scope work done).
+  virtual bool capsGate(const MachineCaps&) const { return true; }
+  /// Per-scope predicate including caps-dependent parameter limits; defaults
+  /// to the semantic check alone.
+  virtual bool okWithCaps(const Program& p, const MachineCaps&,
+                          const Location& loc) const {
+    return isApplicable(p, loc);
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -77,15 +125,12 @@ class Unroll final : public SetAnnoBase {
     return s->extent <= 64;  // hard sanity bound; caps tighten in enumeration
   }
 
-  std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps& caps) const override {
-    return scopeLocations(p, [&](const Location& loc) {
-      if (!isApplicable(p, loc)) return false;
-      return ir::findNode(p.root, loc.node)->extent <= caps.max_unroll;
-    });
-  }
-
  protected:
+  bool okWithCaps(const Program& p, const MachineCaps& caps,
+                  const Location& loc) const override {
+    if (!isApplicable(p, loc)) return false;
+    return ir::findNode(p.root, loc.node)->extent <= caps.max_unroll;
+  }
   LoopAnno target() const override { return LoopAnno::Unroll; }
 };
 
@@ -142,17 +187,14 @@ class Vectorize final : public SetAnnoBase {
     return vectorizableBody(*s);
   }
 
-  std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps& caps) const override {
-    return scopeLocations(p, [&](const Location& loc) {
-      if (!isApplicable(p, loc)) return false;
-      const Node* s = ir::findNode(p.root, loc.node);
-      return std::find(caps.vector_widths.begin(), caps.vector_widths.end(),
-                       s->extent) != caps.vector_widths.end();
-    });
-  }
-
  protected:
+  bool okWithCaps(const Program& p, const MachineCaps& caps,
+                  const Location& loc) const override {
+    if (!isApplicable(p, loc)) return false;
+    const Node* s = ir::findNode(p.root, loc.node);
+    return std::find(caps.vector_widths.begin(), caps.vector_widths.end(),
+                     s->extent) != caps.vector_widths.end();
+  }
   LoopAnno target() const override { return LoopAnno::Vector; }
 };
 
@@ -172,13 +214,10 @@ class Parallelize final : public SetAnnoBase {
     return iterationsIndependent(p, *s);
   }
 
-  std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps& caps) const override {
-    if (!caps.has_parallel || caps.is_gpu) return {};
-    return scopeLocations(p, [&](const Location& loc) { return isApplicable(p, loc); });
-  }
-
  protected:
+  bool capsGate(const MachineCaps& caps) const override {
+    return caps.has_parallel && !caps.is_gpu;
+  }
   LoopAnno target() const override { return LoopAnno::Parallel; }
 };
 
@@ -199,13 +238,8 @@ class GpuMapGrid final : public SetAnnoBase {
     return iterationsIndependent(p, *s);
   }
 
-  std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps& caps) const override {
-    if (!caps.is_gpu) return {};
-    return scopeLocations(p, [&](const Location& loc) { return isApplicable(p, loc); });
-  }
-
  protected:
+  bool capsGate(const MachineCaps& caps) const override { return caps.is_gpu; }
   LoopAnno target() const override { return LoopAnno::GpuGrid; }
 };
 
@@ -224,16 +258,13 @@ class GpuMapBlock final : public SetAnnoBase {
     return iterationsIndependent(p, *s);
   }
 
-  std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps& caps) const override {
-    if (!caps.is_gpu) return {};
-    return scopeLocations(p, [&](const Location& loc) {
-      if (!isApplicable(p, loc)) return false;
-      return ir::findNode(p.root, loc.node)->extent <= caps.max_block_threads;
-    });
-  }
-
  protected:
+  bool capsGate(const MachineCaps& caps) const override { return caps.is_gpu; }
+  bool okWithCaps(const Program& p, const MachineCaps& caps,
+                  const Location& loc) const override {
+    if (!isApplicable(p, loc)) return false;
+    return ir::findNode(p.root, loc.node)->extent <= caps.max_block_threads;
+  }
   LoopAnno target() const override { return LoopAnno::GpuBlock; }
 };
 
@@ -250,16 +281,13 @@ class GpuMapWarp final : public SetAnnoBase {
     return iterationsIndependent(p, *s);
   }
 
-  std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps& caps) const override {
-    if (!caps.is_gpu) return {};
-    return scopeLocations(p, [&](const Location& loc) {
-      if (!isApplicable(p, loc)) return false;
-      return ir::findNode(p.root, loc.node)->extent <= caps.warp_size;
-    });
-  }
-
  protected:
+  bool capsGate(const MachineCaps& caps) const override { return caps.is_gpu; }
+  bool okWithCaps(const Program& p, const MachineCaps& caps,
+                  const Location& loc) const override {
+    if (!isApplicable(p, loc)) return false;
+    return ir::findNode(p.root, loc.node)->extent <= caps.warp_size;
+  }
   LoopAnno target() const override { return LoopAnno::GpuWarp; }
 };
 
@@ -320,13 +348,8 @@ class SsrStream final : public SetAnnoBase {
     return streams <= 3;
   }
 
-  std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps& caps) const override {
-    if (!caps.has_ssr) return {};
-    return scopeLocations(p, [&](const Location& loc) { return isApplicable(p, loc); });
-  }
-
  protected:
+  bool capsGate(const MachineCaps& caps) const override { return caps.has_ssr; }
   LoopAnno target() const override { return LoopAnno::Ssr; }
 };
 
@@ -346,13 +369,8 @@ class Frep final : public SetAnnoBase {
     return op != nullptr && ir::opIsFloatingPoint(op->op);
   }
 
-  std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps& caps) const override {
-    if (!caps.has_frep) return {};
-    return scopeLocations(p, [&](const Location& loc) { return isApplicable(p, loc); });
-  }
-
  protected:
+  bool capsGate(const MachineCaps& caps) const override { return caps.has_frep; }
   LoopAnno target() const override { return LoopAnno::Frep; }
 };
 

@@ -40,16 +40,6 @@ std::vector<OpInfo> collectOpInfos(const Node& root) {
 
 namespace {
 
-/// Indices of materialized dimensions of the buffer backing `array`.
-std::vector<std::size_t> materializedDims(const Program& p, const std::string& array) {
-  const Buffer* b = p.bufferOfArray(array);
-  require(b != nullptr, "deps: unknown array '" + array + "'");
-  std::vector<std::size_t> dims;
-  for (std::size_t i = 0; i < b->materialized.size(); ++i)
-    if (b->materialized[i]) dims.push_back(i);
-  return dims;
-}
-
 /// True when expr is affine with a non-zero coefficient on `iter` — the
 /// injectivity witness used to prove distinct iterations touch distinct
 /// elements.
@@ -70,7 +60,8 @@ bool mayAlias(const Program& p, const Access& a, const Access& b) {
   require(ba && bb, "mayAlias: unknown array");
   if (ba != bb) return false;
   if (a.array != b.array) return true;  // distinct arrays sharing storage
-  for (std::size_t d : materializedDims(p, a.array)) {
+  for (std::size_t d = 0; d < ba->materialized.size(); ++d) {
+    if (!ba->materialized[d]) continue;
     const IndexExpr& ea = a.idx[d];
     const IndexExpr& eb = b.idx[d];
     if (ea.isConst() && eb.isConst() && ea.constValue() != eb.constValue())
@@ -82,10 +73,13 @@ bool mayAlias(const Program& p, const Access& a, const Access& b) {
 bool sameElementUnderIterMap(const Program& p, const Access& a, NodeId iter_a,
                              const Access& b, NodeId iter_b) {
   if (a.array != b.array) return false;
+  const Buffer* ba = p.bufferOfArray(a.array);
+  require(ba != nullptr, "deps: unknown array '" + a.array + "'");
   const IndexExpr unified = IndexExpr::iter(iter_a);
   bool uses_iter_injectively = false;
-  for (std::size_t d : materializedDims(p, a.array)) {
-    const IndexExpr ea = a.idx[d];
+  for (std::size_t d = 0; d < ba->materialized.size(); ++d) {
+    if (!ba->materialized[d]) continue;
+    const IndexExpr& ea = a.idx[d];
     const IndexExpr eb = b.idx[d].substitute(iter_b, unified).simplified();
     if (!(ea == eb)) return false;
     if (affineNonzeroIn(ea, iter_a)) uses_iter_injectively = true;
@@ -180,10 +174,12 @@ bool iterationsIndependent(const Program& p, const Node& scope) {
   // Per written buffer: collect all accesses to it within the subtree.
   for (const auto& w : ops) {
     const Buffer* wb = p.bufferOfArray(w.write.array);
+    require(wb != nullptr, "deps: unknown array '" + w.write.array + "'");
     // Dimensions (materialized) in which the write uses the scope iterator.
     std::vector<std::size_t> iter_dims;
     bool injective = false;
-    for (std::size_t d : materializedDims(p, w.write.array)) {
+    for (std::size_t d = 0; d < wb->materialized.size(); ++d) {
+      if (!wb->materialized[d]) continue;
       if (w.write.idx[d].usesIter(scope.id)) {
         iter_dims.push_back(d);
         if (affineNonzeroIn(w.write.idx[d], scope.id)) injective = true;

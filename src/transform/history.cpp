@@ -15,6 +15,7 @@ void History::push(const Action& a) {
   a.transform->applyInPlace(next, a.loc, &mut, /*validate=*/true);
   current_ = std::move(next);
   inc_.update(current_, mut);
+  last_mut_ = std::move(mut);
   steps_.push_back({a.transform, a.loc});
 }
 
@@ -26,6 +27,7 @@ void History::undo() {
   require(p.has_value(), "History::undo: prefix replay failed: " + r.message);
   current_ = std::move(*p);
   inc_.rebuild(current_);
+  last_mut_ = ir::MutationSummary::conservative();
   steps_ = std::move(prefix);
 }
 
@@ -53,6 +55,7 @@ History::ReplayResult History::tryAdopt(std::vector<Step> steps) {
   if (!p) return r;
   current_ = std::move(*p);
   inc_.rebuild(current_);
+  last_mut_ = ir::MutationSummary::conservative();
   steps_ = std::move(steps);
   return r;
 }

@@ -36,6 +36,13 @@ class History {
   /// the memoized evaluation layer key on this value.
   std::uint64_t currentHash() const { return inc_.hash(); }
 
+  /// Mutation summary of the last push() — the report currentHash() was
+  /// updated from — so callers can splice their own per-state indices (the
+  /// Dojo's move list) off the same mutation. Conservative (whole_tree)
+  /// after any other editing operation (undo, erase/replace/insert), which
+  /// replays and rebuilds.
+  const ir::MutationSummary& lastMutation() const { return last_mut_; }
+
   /// Applies an action and records it. Throws if inapplicable.
   void push(const Action& a);
 
@@ -73,6 +80,7 @@ class History {
   ir::Program current_;
   std::vector<Step> steps_;
   ir::IncrementalCanonical inc_;  // canonical form of current_
+  ir::MutationSummary last_mut_ = ir::MutationSummary::conservative();
 };
 
 }  // namespace perfdojo::transform

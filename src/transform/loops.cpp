@@ -24,6 +24,34 @@ void substituteInChildren(std::vector<Node>& children, NodeId from,
   for (auto& c : children) ir::substituteIter(c, from, repl);
 }
 
+// Shared scoped-enumeration shape for transforms whose candidate sites are
+// exactly the scope nodes (one parameterless location per applicable scope):
+// the subsequence of the full collectScopes enumeration inside a subtree,
+// and the single-node recheck.
+template <typename T>
+std::vector<Location> scopeLocationsWithin(const T& t, const Program& p,
+                                           NodeId subtree_root) {
+  std::vector<Location> out;
+  for (const Node* s : ir::collectScopesWithin(p.root, subtree_root)) {
+    Location loc;
+    loc.node = s->id;
+    if (t.isApplicable(p, loc)) out.push_back(loc);
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<Location> scopeLocationAt(const T& t, const Program& p, NodeId node) {
+  std::vector<Location> out;
+  const Node* s = ir::findNode(p.root, node);
+  if (s != nullptr && s->id != p.root.id && s->isScope()) {
+    Location loc;
+    loc.node = node;
+    if (t.isApplicable(p, loc)) out.push_back(loc);
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 
 class SplitScope final : public CheckedTransform {
@@ -40,21 +68,40 @@ class SplitScope final : public CheckedTransform {
 
   std::vector<Location> findApplicable(const Program& p,
                                        const MachineCaps& caps) const override {
+    return findApplicable(p, caps, p.root.id);
+  }
+
+  std::vector<Location> findApplicable(const Program& p, const MachineCaps& caps,
+                                       ir::NodeId subtree_root) const override {
     std::vector<Location> out;
+    for (const Node* s : ir::collectScopesWithin(p.root, subtree_root))
+      emitAt(p, caps, *s, out);
+    return out;
+  }
+
+  std::vector<Location> findApplicableAt(const Program& p, const MachineCaps& caps,
+                                         ir::NodeId node) const override {
+    std::vector<Location> out;
+    const Node* s = ir::findNode(p.root, node);
+    if (s != nullptr && s->id != p.root.id && s->isScope())
+      emitAt(p, caps, *s, out);
+    return out;
+  }
+
+ private:
+  void emitAt(const Program& p, const MachineCaps& caps, const Node& s,
+              std::vector<Location>& out) const {
+    if (s.anno != LoopAnno::None) return;
     std::set<std::int64_t> factors(caps.split_factors.begin(),
                                    caps.split_factors.end());
     for (std::int64_t w : caps.vector_widths) factors.insert(w);
     if (caps.is_gpu) factors.insert(caps.warp_size);
-    for (const Node* s : ir::collectScopes(p.root)) {
-      if (s->anno != LoopAnno::None) continue;
-      for (std::int64_t f : factors) {
-        Location loc;
-        loc.node = s->id;
-        loc.param = f;
-        if (isApplicable(p, loc)) out.push_back(loc);
-      }
+    for (std::int64_t f : factors) {
+      Location loc;
+      loc.node = s.id;
+      loc.param = f;
+      if (isApplicable(p, loc)) out.push_back(loc);
     }
-    return out;
   }
 
  protected:
@@ -93,14 +140,18 @@ class CollapseScopes final : public CheckedTransform {
   }
 
   std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps&) const override {
-    std::vector<Location> out;
-    for (const Node* s : ir::collectScopes(p.root)) {
-      Location loc;
-      loc.node = s->id;
-      if (isApplicable(p, loc)) out.push_back(loc);
-    }
-    return out;
+                                       const MachineCaps& caps) const override {
+    return findApplicable(p, caps, p.root.id);
+  }
+
+  std::vector<Location> findApplicable(const Program& p, const MachineCaps&,
+                                       ir::NodeId subtree_root) const override {
+    return scopeLocationsWithin(*this, p, subtree_root);
+  }
+
+  std::vector<Location> findApplicableAt(const Program& p, const MachineCaps&,
+                                         ir::NodeId node) const override {
+    return scopeLocationAt(*this, p, node);
   }
 
  protected:
@@ -142,14 +193,18 @@ class InterchangeScopes final : public CheckedTransform {
   }
 
   std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps&) const override {
-    std::vector<Location> out;
-    for (const Node* s : ir::collectScopes(p.root)) {
-      Location loc;
-      loc.node = s->id;
-      if (isApplicable(p, loc)) out.push_back(loc);
-    }
-    return out;
+                                       const MachineCaps& caps) const override {
+    return findApplicable(p, caps, p.root.id);
+  }
+
+  std::vector<Location> findApplicable(const Program& p, const MachineCaps&,
+                                       ir::NodeId subtree_root) const override {
+    return scopeLocationsWithin(*this, p, subtree_root);
+  }
+
+  std::vector<Location> findApplicableAt(const Program& p, const MachineCaps&,
+                                         ir::NodeId node) const override {
+    return scopeLocationAt(*this, p, node);
   }
 
  protected:
@@ -186,14 +241,18 @@ class JoinScopes final : public CheckedTransform {
   }
 
   std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps&) const override {
-    std::vector<Location> out;
-    for (const Node* s : ir::collectScopes(p.root)) {
-      Location loc;
-      loc.node = s->id;
-      if (isApplicable(p, loc)) out.push_back(loc);
-    }
-    return out;
+                                       const MachineCaps& caps) const override {
+    return findApplicable(p, caps, p.root.id);
+  }
+
+  std::vector<Location> findApplicable(const Program& p, const MachineCaps&,
+                                       ir::NodeId subtree_root) const override {
+    return scopeLocationsWithin(*this, p, subtree_root);
+  }
+
+  std::vector<Location> findApplicableAt(const Program& p, const MachineCaps&,
+                                         ir::NodeId node) const override {
+    return scopeLocationAt(*this, p, node);
   }
 
  protected:
@@ -230,17 +289,36 @@ class FissionScope final : public CheckedTransform {
   }
 
   std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps&) const override {
+                                       const MachineCaps& caps) const override {
+    return findApplicable(p, caps, p.root.id);
+  }
+
+  std::vector<Location> findApplicable(const Program& p, const MachineCaps& caps,
+                                       ir::NodeId subtree_root) const override {
     std::vector<Location> out;
-    for (const Node* s : ir::collectScopes(p.root)) {
-      for (std::size_t cut = 1; cut < s->children.size(); ++cut) {
-        Location loc;
-        loc.node = s->id;
-        loc.param = static_cast<std::int64_t>(cut);
-        if (isApplicable(p, loc)) out.push_back(loc);
-      }
-    }
+    for (const Node* s : ir::collectScopesWithin(p.root, subtree_root))
+      emitAt(p, caps, *s, out);
     return out;
+  }
+
+  std::vector<Location> findApplicableAt(const Program& p, const MachineCaps& caps,
+                                         ir::NodeId node) const override {
+    std::vector<Location> out;
+    const Node* s = ir::findNode(p.root, node);
+    if (s != nullptr && s->id != p.root.id && s->isScope())
+      emitAt(p, caps, *s, out);
+    return out;
+  }
+
+ private:
+  void emitAt(const Program& p, const MachineCaps&, const Node& s,
+              std::vector<Location>& out) const {
+    for (std::size_t cut = 1; cut < s.children.size(); ++cut) {
+      Location loc;
+      loc.node = s.id;
+      loc.param = static_cast<std::int64_t>(cut);
+      if (isApplicable(p, loc)) out.push_back(loc);
+    }
   }
 
  protected:
@@ -290,17 +368,40 @@ class ReorderOps final : public CheckedTransform {
   }
 
   std::vector<Location> findApplicable(const Program& p,
-                                       const MachineCaps&) const override {
+                                       const MachineCaps& caps) const override {
+    return findApplicable(p, caps, p.root.id);
+  }
+
+  // Ownership note: a reorder site is attributed to the PARENT whose child
+  // list it permutes (loc.node is the left child, but the enumeration walks
+  // parents). Scoped/At therefore key on the parent node; ActionSet's
+  // classification table for reorder_ops matches.
+  std::vector<Location> findApplicable(const Program& p, const MachineCaps& caps,
+                                       ir::NodeId subtree_root) const override {
     std::vector<Location> out;
-    ir::visit(p.root, [&](const Node& parent) {
-      if (!parent.isScope()) return;
-      for (std::size_t i = 0; i + 1 < parent.children.size(); ++i) {
-        Location loc;
-        loc.node = parent.children[i].id;
-        if (isApplicable(p, loc)) out.push_back(loc);
-      }
-    });
+    const Node* sub = ir::findNode(p.root, subtree_root);
+    if (sub == nullptr) return out;
+    ir::visit(*sub, [&](const Node& parent) { emitAt(p, caps, parent, out); });
     return out;
+  }
+
+  std::vector<Location> findApplicableAt(const Program& p, const MachineCaps& caps,
+                                         ir::NodeId node) const override {
+    std::vector<Location> out;
+    const Node* parent = ir::findNode(p.root, node);
+    if (parent != nullptr) emitAt(p, caps, *parent, out);
+    return out;
+  }
+
+ private:
+  void emitAt(const Program& p, const MachineCaps&, const Node& parent,
+              std::vector<Location>& out) const {
+    if (!parent.isScope()) return;
+    for (std::size_t i = 0; i + 1 < parent.children.size(); ++i) {
+      Location loc;
+      loc.node = parent.children[i].id;
+      if (isApplicable(p, loc)) out.push_back(loc);
+    }
   }
 
  protected:

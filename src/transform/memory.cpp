@@ -104,13 +104,71 @@ class ReuseDims final : public CheckedTransform {
 
   std::vector<Location> findApplicable(const Program& p,
                                        const MachineCaps&) const override {
+    // One walk over the tree, classifying every access by (buffer, dim),
+    // instead of isApplicable's full-tree rescan per candidate site: the
+    // enumeration re-runs on every accepted search move (its predicate is
+    // program-wide, so the action index cannot splice it), making it the
+    // hottest findApplicable in the annealing walk. Site order (buffers in
+    // declaration order, dims ascending) and the verdict per site are
+    // identical to the per-site scan.
+    struct DimState {
+      std::optional<IndexExpr> common;
+      bool all_same = true;
+      int accesses = 0;
+    };
+    std::vector<std::vector<DimState>> state(p.buffers.size());
+    for (std::size_t bi = 0; bi < p.buffers.size(); ++bi)
+      state[bi].resize(p.buffers[bi].rank());
+    auto note = [&](const ir::Access& a) {
+      for (std::size_t bi = 0; bi < p.buffers.size(); ++bi) {
+        const auto& arrays = p.buffers[bi].arrays;
+        if (std::find(arrays.begin(), arrays.end(), a.array) == arrays.end())
+          continue;
+        auto& dims = state[bi];
+        const std::size_t r = std::min(dims.size(), a.idx.size());
+        for (std::size_t d = 0; d < r; ++d) {
+          DimState& ds = dims[d];
+          ++ds.accesses;
+          if (!ds.common)
+            ds.common = a.idx[d];
+          else if (ds.all_same && !(*ds.common == a.idx[d]))
+            ds.all_same = false;
+        }
+        return;  // arrays belong to exactly one buffer
+      }
+    };
+    ir::visit(p.root, [&](const Node& n) {
+      if (!n.isOp()) return;
+      note(n.out);
+      for (const auto& in : n.ins)
+        if (in.kind == Operand::Kind::Array) note(in.access);
+    });
     std::vector<Location> out;
-    for (const auto& b : p.buffers) {
+    for (std::size_t bi = 0; bi < p.buffers.size(); ++bi) {
+      const Buffer& b = p.buffers[bi];
+      if (bufferIsExternal(p, b)) continue;
       for (int d = 0; d < static_cast<int>(b.rank()); ++d) {
+        if (!b.materialized[static_cast<std::size_t>(d)]) continue;
+        const DimState& ds = state[bi][static_cast<std::size_t>(d)];
+        if (ds.accesses == 0 || !ds.all_same) continue;
+        std::vector<NodeId> iters;
+        ds.common->collectIters(iters);
+        if (iters.size() != 1) continue;
+        const Node* scope = ir::findNode(p.root, iters[0]);
+        if (!scope) continue;
+        switch (scope->anno) {
+          case ir::LoopAnno::None:
+          case ir::LoopAnno::Unroll:
+          case ir::LoopAnno::Ssr:
+          case ir::LoopAnno::Frep:
+            break;
+          default:
+            continue;
+        }
         Location loc;
         loc.buffer = b.name;
         loc.dim = d;
-        if (isApplicable(p, loc)) out.push_back(loc);
+        out.push_back(loc);
       }
     }
     return out;

@@ -89,19 +89,38 @@ class PartialReduce final : public CheckedTransform {
 
   std::vector<Location> findApplicable(const Program& p,
                                        const MachineCaps& caps) const override {
+    return findApplicable(p, caps, p.root.id);
+  }
+
+  std::vector<Location> findApplicable(const Program& p, const MachineCaps& caps,
+                                       ir::NodeId subtree_root) const override {
     std::vector<Location> out;
+    for (const Node* s : ir::collectScopesWithin(p.root, subtree_root))
+      emitAt(p, caps, *s, out);
+    return out;
+  }
+
+  std::vector<Location> findApplicableAt(const Program& p, const MachineCaps& caps,
+                                         ir::NodeId node) const override {
+    std::vector<Location> out;
+    const Node* s = ir::findNode(p.root, node);
+    if (s != nullptr && s->id != p.root.id && s->isScope())
+      emitAt(p, caps, *s, out);
+    return out;
+  }
+
+ private:
+  void emitAt(const Program& p, const MachineCaps& caps, const Node& s,
+              std::vector<Location>& out) const {
     std::vector<std::int64_t> ks = {2, 4, 8, 16};
     for (std::int64_t w : caps.vector_widths)
       if (std::find(ks.begin(), ks.end(), w) == ks.end()) ks.push_back(w);
-    for (const Node* s : ir::collectScopes(p.root)) {
-      for (std::int64_t k : ks) {
-        Location loc;
-        loc.node = s->id;
-        loc.param = k;
-        if (isApplicable(p, loc)) out.push_back(loc);
-      }
+    for (std::int64_t k : ks) {
+      Location loc;
+      loc.node = s.id;
+      loc.param = k;
+      if (isApplicable(p, loc)) out.push_back(loc);
     }
-    return out;
   }
 
  protected:

@@ -1,6 +1,8 @@
 #include "transform/transform.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <unordered_set>
 
 #include "ir/incremental.h"
 #include "ir/walk.h"
@@ -14,6 +16,28 @@ void Transform::applyInPlace(ir::Program& q, const Location& loc,
   (void)validate;  // apply() always validates
   q = apply(q, loc);
   if (mut) *mut = ir::MutationSummary::conservative();
+}
+
+std::vector<Location> Transform::findApplicable(const ir::Program& p,
+                                                const MachineCaps& caps,
+                                                ir::NodeId subtree_root) const {
+  const ir::Node* sub = ir::findNode(p.root, subtree_root);
+  if (sub == nullptr) return {};
+  std::unordered_set<ir::NodeId> inside;
+  ir::visit(*sub, [&](const ir::Node& n) { inside.insert(n.id); });
+  std::vector<Location> out;
+  for (auto& loc : findApplicable(p, caps))
+    if (inside.count(loc.node) != 0) out.push_back(std::move(loc));
+  return out;
+}
+
+std::vector<Location> Transform::findApplicableAt(const ir::Program& p,
+                                                  const MachineCaps& caps,
+                                                  ir::NodeId node) const {
+  std::vector<Location> out;
+  for (auto& loc : findApplicable(p, caps))
+    if (loc.node == node) out.push_back(std::move(loc));
+  return out;
 }
 
 std::string Transform::describe(const ir::Program& p, const Location& loc) const {
@@ -70,7 +94,9 @@ std::vector<Action> allActions(const ir::Program& p, const MachineCaps& caps,
                                const std::vector<const Transform*>& transforms) {
   std::vector<Action> actions;
   for (const Transform* t : transforms) {
-    for (auto& loc : t->findApplicable(p, caps)) actions.push_back({t, loc});
+    auto locs = t->findApplicable(p, caps);
+    actions.reserve(actions.size() + locs.size());
+    for (auto& loc : locs) actions.push_back({t, std::move(loc)});
   }
   return actions;
 }
@@ -95,8 +121,12 @@ bool locationFromText(const std::string& text, Location& out) {
     const std::string val = tok.substr(eq + 1);
     if (val.empty()) return false;
     char* end = nullptr;
+    errno = 0;
     const std::int64_t num = std::strtoll(val.c_str(), &end, 10);
-    const bool numeric = end && *end == '\0';
+    // strtoll saturates to INT64_MIN/MAX on overflow without failing the
+    // end-pointer check; a forged witness with an out-of-range numeric would
+    // silently round-trip to a different location. Reject the token instead.
+    const bool numeric = end && *end == '\0' && errno != ERANGE;
     if (key == "node" && numeric) out.node = static_cast<ir::NodeId>(num);
     else if (key == "buffer") out.buffer = val;
     else if (key == "dim" && numeric) out.dim = static_cast<int>(num);

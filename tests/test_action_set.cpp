@@ -1,0 +1,378 @@
+// Property and bit-identity suite for the incrementally maintained action
+// index (transform::ActionSet) and the arena rebase-on-accept path
+// (ir::CanonicalArena::rebase, search::DeltaContext::accept).
+//
+// The contract under test (see src/transform/action_set.h): after every
+// bind()/update() the maintained list is element-identical — same elements,
+// same order — to a fresh transform::allActions enumeration; a rebased arena
+// is indistinguishable column by column from a freshly bound one; and every
+// search tier makes exactly the decisions of the re-enumerating pipeline
+// whether the index and the rebase are on or off, on one thread or eight.
+//
+// Suite names deliberately contain "ActionSet"/"Rebase" so the CI
+// ThreadSanitizer job's -R regex picks them up.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dojo/dojo.h"
+#include "ir/arena.h"
+#include "ir/canonical.h"
+#include "ir/incremental.h"
+#include "kernels/kernels.h"
+#include "machines/machine.h"
+#include "search/delta.h"
+#include "search/exact.h"
+#include "search/graph.h"
+#include "search/search.h"
+#include "support/rng.h"
+#include "support/telemetry.h"
+#include "transform/action_set.h"
+#include "transform/transform.h"
+
+namespace perfdojo::search {
+namespace {
+
+/// Table-3 kernels the properties quantify over (flat builds; trajectories
+/// grow them into the deep split/annotated trees the index exists for).
+const std::vector<const char*>& corpusLabels() {
+  static const std::vector<const char*> labels = {"softmax", "layernorm_1",
+                                                  "matmul", "mul"};
+  return labels;
+}
+
+/// Restores a process-wide default on scope exit, so a failing assertion in
+/// one test cannot leak a disabled index into the rest of the binary.
+struct IndexDefaultGuard {
+  bool saved = transform::ActionSet::defaultEnabled();
+  ~IndexDefaultGuard() { transform::ActionSet::setDefaultEnabled(saved); }
+};
+
+TEST(ActionSet, MatchesFreshEnumerationAlongSeededTrajectories) {
+  // The core invariant, quantified over kernels x caps profiles x seeded
+  // random trajectories: after every accepted in-place mutation, the spliced
+  // index equals a fresh enumeration element for element.
+  std::int64_t total_splices = 0;
+  for (const char* label : corpusLabels()) {
+    const auto* k = kernels::findKernel(label);
+    ASSERT_NE(k, nullptr) << label;
+    for (const auto* m :
+         {&machines::xeon(), &machines::gh200(), &machines::snitch()}) {
+      for (const std::uint64_t seed : {3u, 17u}) {
+        SCOPED_TRACE(::testing::Message() << label << " on " << m->name()
+                                          << " seed " << seed);
+        Rng rng(seed);
+        ir::Program p = k->build();
+        transform::ActionSet aset;
+        aset.bind(p, m->caps());
+        std::string detail;
+        ASSERT_TRUE(aset.selfCheck(p, &detail)) << detail;
+        for (int step = 0; step < 12; ++step) {
+          const auto& actions = aset.actions();
+          if (actions.empty()) break;
+          const auto a = actions[rng.uniform(actions.size())];
+          ir::MutationSummary mut;
+          a.transform->applyInPlace(p, a.loc, &mut);
+          aset.update(p, mut);
+          ASSERT_TRUE(aset.selfCheck(p, &detail))
+              << "step " << step << " (" << a.describe(p) << "): " << detail;
+        }
+        total_splices += aset.stats().transform_splices;
+      }
+    }
+  }
+  // The walks must actually exercise the incremental path, not live off the
+  // conservative full-rebuild fallback.
+  EXPECT_GT(total_splices, 0);
+}
+
+TEST(ActionSet, ConservativeSummaryFallsBackToFullRebuild) {
+  const ir::Program base = kernels::findKernel("softmax")->build();
+  const auto& caps = machines::xeon().caps();
+  transform::ActionSet aset;
+  aset.bind(base, caps);
+
+  // A real mutation reported conservatively: the index must notice it cannot
+  // splice and rebuild, landing on the correct list anyway.
+  ir::Program p = base;
+  const auto actions = transform::allActions(p, caps);
+  ASSERT_FALSE(actions.empty());
+  ir::MutationSummary ignored;
+  actions.front().transform->applyInPlace(p, actions.front().loc, &ignored);
+  aset.update(p, ir::MutationSummary::conservative());
+  EXPECT_EQ(aset.stats().full_rebuilds, 1);
+  std::string detail;
+  EXPECT_TRUE(aset.selfCheck(p, &detail)) << detail;
+
+  // An honest empty summary on an unchanged program must not rebuild — and
+  // must still be correct, because nothing changed.
+  aset.update(p, ir::MutationSummary::none());
+  EXPECT_EQ(aset.stats().full_rebuilds, 1);
+  EXPECT_TRUE(aset.selfCheck(p, &detail)) << detail;
+}
+
+TEST(ActionSet, DojoMovesSpliceAcrossPlayAndUndo) {
+  const auto& m = machines::xeon();
+  dojo::Dojo d(kernels::findKernel("mul")->build(), m);
+  for (int step = 0; step < 4; ++step) {
+    const auto moves = d.moves();
+    const auto fresh = transform::allActions(d.program(), m.caps());
+    ASSERT_EQ(moves.size(), fresh.size()) << "step " << step;
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      ASSERT_EQ(moves[i].transform, fresh[i].transform) << "step " << step;
+      ASSERT_TRUE(moves[i].loc == fresh[i].loc) << "step " << step;
+    }
+    if (moves.empty()) break;
+    d.play(moves[step % moves.size()]);
+  }
+  d.undo();
+  const auto moves = d.moves();
+  const auto fresh = transform::allActions(d.program(), m.caps());
+  ASSERT_EQ(moves.size(), fresh.size());
+  for (std::size_t i = 0; i < moves.size(); ++i)
+    ASSERT_TRUE(moves[i].transform == fresh[i].transform &&
+                moves[i].loc == fresh[i].loc);
+}
+
+/// Requires `got` to be indistinguishable from `want` through every public
+/// accessor — the rebase acceptance bar.
+void expectArenasIdentical(const ir::CanonicalArena& got,
+                           const ir::CanonicalArena& want,
+                           const ir::Program& p) {
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(got.hash(), want.hash());
+  EXPECT_EQ(got.text(), want.text());
+  for (std::size_t s = 0; s < want.size(); ++s) {
+    ASSERT_EQ(got.idOf(s), want.idOf(s)) << "slot " << s;
+    ASSERT_EQ(got.subtreeEnd(s), want.subtreeEnd(s)) << "slot " << s;
+    ASSERT_EQ(got.parentOf(s), want.parentOf(s)) << "slot " << s;
+    ASSERT_EQ(got.depthOf(s), want.depthOf(s)) << "slot " << s;
+    ASSERT_EQ(got.isScope(s), want.isScope(s)) << "slot " << s;
+    ASSERT_EQ(got.extentOf(s), want.extentOf(s)) << "slot " << s;
+    ASSERT_EQ(got.annoOf(s), want.annoOf(s)) << "slot " << s;
+    ASSERT_EQ(got.subtreeText(s), want.subtreeText(s)) << "slot " << s;
+  }
+  for (ir::NodeId id = 0; id < p.next_id; ++id)
+    ASSERT_EQ(got.slotOf(id), want.slotOf(id)) << "id " << id;
+}
+
+TEST(Rebase, ArenaRebaseIndistinguishableFromFreshBind) {
+  for (const char* label : corpusLabels()) {
+    const auto* k = kernels::findKernel(label);
+    ASSERT_NE(k, nullptr) << label;
+    SCOPED_TRACE(label);
+    Rng rng(29);
+    ir::Program p = k->build();
+    ir::CanonicalArena arena(p);
+    for (int step = 0; step < 8; ++step) {
+      const auto actions = transform::allActions(p, machines::xeon().caps());
+      if (actions.empty()) break;
+      const auto& a = actions[rng.uniform(actions.size())];
+      ir::MutationSummary mut;
+      a.transform->applyInPlace(p, a.loc, &mut);
+      arena.rebase(p, mut);
+      const ir::CanonicalArena fresh(p);
+      SCOPED_TRACE(::testing::Message() << "step " << step);
+      expectArenasIdentical(arena, fresh, p);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(Rebase, ConservativeSummaryEqualsFreshBind) {
+  ir::Program p = kernels::findKernel("layernorm_1")->build();
+  ir::CanonicalArena arena(p);
+  const auto actions = transform::allActions(p, machines::xeon().caps());
+  ASSERT_FALSE(actions.empty());
+  ir::MutationSummary ignored;
+  actions.front().transform->applyInPlace(p, actions.front().loc, &ignored);
+  arena.rebase(p, ir::MutationSummary::conservative());
+  const ir::CanonicalArena fresh(p);
+  expectArenasIdentical(arena, fresh, p);
+}
+
+TEST(Rebase, DeltaAcceptMatchesRebindOnBothBackends) {
+  // The accepted-move path: a context that rebases in place after accept()
+  // must stay bit-identical — base hash and program — to one that rebinds
+  // from scratch, for either canonical-form backend.
+  for (const bool use_arena : {true, false}) {
+    SCOPED_TRACE(use_arena ? "arena backend" : "line-cache backend");
+    ir::Program p = kernels::findKernel("softmax")->build();
+    DeltaContext fast, slow;
+    fast.setUseArena(use_arena);
+    slow.setUseArena(use_arena);
+    fast.setUseRebase(true);
+    slow.setUseRebase(false);
+    fast.bind(p);
+    slow.bind(p);
+    Rng rng(41);
+    for (int step = 0; step < 8; ++step) {
+      const auto actions = transform::allActions(p, machines::xeon().caps());
+      if (actions.empty()) break;
+      const auto& a = actions[rng.uniform(actions.size())];
+      const ir::Program& pf = fast.accept(a);
+      const ir::Program& ps = slow.accept(a);
+      ASSERT_EQ(fast.baseHash(), slow.baseHash()) << "step " << step;
+      ASSERT_EQ(fast.baseHash(), ir::canonicalHash(pf)) << "step " << step;
+      ASSERT_TRUE(ir::canonicallyEqual(pf, ps)) << "step " << step;
+      // Both contexts must keep pricing neighbors identically after the
+      // in-place rebase.
+      const auto next = transform::allActions(pf, machines::xeon().caps());
+      if (!next.empty())
+        ASSERT_EQ(fast.neighborHash(next.front()),
+                  slow.neighborHash(next.front()))
+            << "step " << step;
+      p = pf;
+    }
+    EXPECT_EQ(fast.stats().accept_rebinds, 0);
+    EXPECT_GT(slow.stats().accept_rebinds, 0);
+  }
+}
+
+/// Drops every "wall_ms" field from a JSONL trace: the only member whose
+/// value legitimately varies between bit-identical runs.
+std::string stripWallClock(std::string jsonl) {
+  const std::string key = ",\"wall_ms\":";
+  for (std::size_t at; (at = jsonl.find(key)) != std::string::npos;) {
+    std::size_t end = at + key.size();
+    while (end < jsonl.size() && jsonl[end] != ',' && jsonl[end] != '}') ++end;
+    jsonl.erase(at, end - at);
+  }
+  return jsonl;
+}
+
+TEST(ActionSet, SearchTracesBitIdenticalIndexOnOffAcrossThreads) {
+  // The acceptance criterion of the action-set PR: decision sequences,
+  // traces, best cost and eval counts bit-identical with the index and the
+  // rebase on or off, threads 1 or 8. The reference is the re-enumerating
+  // pipeline (index off, rebase off).
+  const auto& m = machines::xeon();
+  for (const char* label : {"softmax", "matmul"}) {
+    const ir::Program kernel = kernels::findKernel(label)->build();
+    SearchConfig base;
+    base.method = SearchMethod::SimulatedAnnealing;
+    base.structure = SpaceStructure::Edges;
+    base.budget = 160;
+    base.max_steps = 10;
+    base.seed = 7;
+
+    Telemetry ref_sink;
+    SearchConfig ref_cfg = base;
+    ref_cfg.threads = 1;
+    ref_cfg.use_action_index = false;
+    ref_cfg.use_rebase = false;
+    ref_cfg.telemetry = &ref_sink;
+    const auto reference = runSearch(kernel, m, ref_cfg);
+    const std::string ref_trace = stripWallClock(ref_sink.buffered());
+    ASSERT_FALSE(ref_trace.empty());
+
+    for (int threads : {1, 8}) {
+      for (bool use_index : {false, true}) {
+        for (bool use_rebase : {false, true}) {
+          if (!use_index && !use_rebase && threads == 1) continue;  // the ref
+          SCOPED_TRACE(::testing::Message()
+                       << label << " threads=" << threads
+                       << " index=" << use_index << " rebase=" << use_rebase);
+          Telemetry sink;
+          SearchConfig cfg = base;
+          cfg.threads = threads;
+          cfg.use_action_index = use_index;
+          cfg.use_rebase = use_rebase;
+          cfg.telemetry = &sink;
+          const auto r = runSearch(kernel, m, cfg);
+          EXPECT_EQ(reference.best_runtime, r.best_runtime);
+          EXPECT_EQ(reference.evals, r.evals);
+          EXPECT_TRUE(ir::canonicallyEqual(reference.best, r.best));
+          ASSERT_EQ(reference.trace.size(), r.trace.size());
+          for (std::size_t i = 0; i < reference.trace.size(); ++i)
+            ASSERT_EQ(reference.trace[i], r.trace[i]) << "at eval " << i;
+          EXPECT_EQ(stripWallClock(sink.buffered()), ref_trace);
+        }
+      }
+    }
+  }
+}
+
+TEST(ActionSet, RandomSamplingTracesBitIdenticalIndexOnOff) {
+  const auto& m = machines::xeon();
+  const ir::Program kernel = kernels::findKernel("softmax")->build();
+  SearchConfig base;
+  base.method = SearchMethod::RandomSampling;
+  base.structure = SpaceStructure::Edges;
+  base.budget = 120;
+  base.max_steps = 8;
+  base.seed = 11;
+
+  SearchConfig ref_cfg = base;
+  ref_cfg.use_action_index = false;
+  const auto reference = runSearch(kernel, m, ref_cfg);
+
+  SearchConfig cfg = base;
+  cfg.use_action_index = true;
+  const auto r = runSearch(kernel, m, cfg);
+  EXPECT_EQ(reference.best_runtime, r.best_runtime);
+  EXPECT_EQ(reference.evals, r.evals);
+  EXPECT_TRUE(ir::canonicallyEqual(reference.best, r.best));
+  ASSERT_EQ(reference.trace.size(), r.trace.size());
+  for (std::size_t i = 0; i < reference.trace.size(); ++i)
+    ASSERT_EQ(reference.trace[i], r.trace[i]) << "at eval " << i;
+}
+
+TEST(ActionSet, GraphExpansionIdenticalIndexOnOff) {
+  // The BFS graph derives each child's action set from its parent's via the
+  // producing action's summary; the graph must be node- and edge-identical
+  // to the re-enumerating expansion.
+  IndexDefaultGuard guard;
+  const ir::Program p = kernels::findKernel("softmax")->build();
+  transform::ActionSet::setDefaultEnabled(true);
+  TransformationGraph indexed(p, machines::xeon(), /*max_depth=*/2,
+                              /*max_nodes=*/200);
+  transform::ActionSet::setDefaultEnabled(false);
+  TransformationGraph full(p, machines::xeon(), 2, 200);
+
+  ASSERT_EQ(indexed.nodeCount(), full.nodeCount());
+  ASSERT_EQ(indexed.edgeCount(), full.edgeCount());
+  auto it = full.nodes().begin();
+  for (const auto& [hash, node] : indexed.nodes()) {
+    ASSERT_EQ(hash, it->first);
+    EXPECT_EQ(node.runtime, it->second.runtime);
+    EXPECT_EQ(node.depth, it->second.depth);
+    ++it;
+  }
+  for (std::size_t i = 0; i < indexed.edges().size(); ++i) {
+    EXPECT_EQ(indexed.edges()[i].from, full.edges()[i].from) << "edge " << i;
+    EXPECT_EQ(indexed.edges()[i].to, full.edges()[i].to) << "edge " << i;
+    EXPECT_EQ(indexed.edges()[i].label, full.edges()[i].label) << "edge " << i;
+  }
+  EXPECT_EQ(indexed.best().hash, full.best().hash);
+}
+
+TEST(ActionSet, ExactCertificatesBitIdenticalIndexOnOffAcrossThreads) {
+  // The exact tier's frontier re-materialization replays trajectories through
+  // a copied kernel-bound index; its proof objects must not depend on that.
+  IndexDefaultGuard guard;
+  const ir::Program kernel = kernels::findKernel("mul")->build_small();
+  const auto& m = machines::snitch();
+  ExactConfig cfg;
+  cfg.depth = 3;
+  cfg.threads = 1;
+  cfg.kernel_label = "mul";
+
+  transform::ActionSet::setDefaultEnabled(false);
+  const auto reference = runExact(kernel, m, cfg);
+
+  transform::ActionSet::setDefaultEnabled(true);
+  for (int threads : {1, 8}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    ExactConfig c = cfg;
+    c.threads = threads;
+    const auto r = runExact(kernel, m, c);
+    EXPECT_EQ(r.cert.toJson(), reference.cert.toJson());
+    EXPECT_EQ(r.best_cost, reference.best_cost);
+    EXPECT_TRUE(ir::canonicallyEqual(r.best, reference.best));
+  }
+}
+
+}  // namespace
+}  // namespace perfdojo::search
