@@ -1,23 +1,203 @@
 // Figure 12: convergence speed of simulated annealing vs random sampling
 // across the two search-space structures (edges-based vs heuristic-based).
 // The space structure, not the method, is the decisive factor.
+//
+// A second section gates the learned cost-model prior end to end: traces
+// recorded on disjoint training seeds fit a PriorModel in-process, then the
+// eval seeds re-run SA/Edges with and without the prior filtering each
+// neighbor set to its top-k best-predicted candidates. The gated metric is
+// evals-to-baseline — how many evaluations each leg spends before first
+// reaching the no-prior leg's own final best cost — summed over seeds, as
+// the ratio prior/no-prior. Every quantity is computed on the analytic cost
+// model from fixed seeds at a fixed (unscaled) budget, so the checked-in
+// baseline is bit-exact reproducible.
+//
+//   bench_fig12_convergence [--out BENCH_prior.json]
+//                           [--check bench/BENCH_prior_baseline.json]
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "bench_util.h"
 #include "kernels/kernels.h"
 #include "machines/machine.h"
+#include "search/prior.h"
+#include "search/prior_train.h"
 #include "search/search.h"
 #include "support/stats.h"
 #include "support/table.h"
+#include "support/telemetry.h"
 
 using namespace perfdojo;
 using search::SearchConfig;
 using search::SearchMethod;
 using search::SpaceStructure;
 
-int main() {
+namespace {
+
+/// Fixed budget for the prior gate — deliberately NOT bench::scaled, so the
+/// checked-in baseline stays bit-exact under any PERFDOJO_BENCH_SCALE.
+constexpr int kPriorBudget = 240;
+constexpr int kPriorTopk = 6;
+
+/// First evaluation index (1-based) whose best-so-far reaches `target`;
+/// trace length + 1 when the search never gets there.
+std::size_t evalsToReach(const std::vector<double>& trace, double target) {
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    if (trace[i] <= target * (1 + 1e-12)) return i + 1;
+  return trace.size() + 1;
+}
+
+struct PriorMeasurement {
+  std::size_t train_samples = 0;
+  double train_rmse_before = 0, train_rmse_after = 0;
+  std::int64_t noprior_evals = 0;  // summed evals-to-baseline over seeds
+  std::int64_t prior_evals = 0;
+  double noprior_final = 0;  // geomean of per-seed final best costs
+  double prior_final = 0;
+  std::int64_t prior_filtered = 0;
+  double hit_rate = 0, rank_corr = 0;  // averaged over eval seeds
+  double ratio() const {
+    return noprior_evals > 0
+               ? static_cast<double>(prior_evals) /
+                     static_cast<double>(noprior_evals)
+               : 0;
+  }
+};
+
+SearchConfig priorBaseConfig(std::uint64_t seed) {
+  SearchConfig cfg;
+  cfg.method = SearchMethod::SimulatedAnnealing;
+  cfg.structure = SpaceStructure::Edges;
+  cfg.budget = kPriorBudget;
+  cfg.seed = seed;
+  return cfg;
+}
+
+PriorMeasurement measurePrior(const ir::Program& kernel,
+                              const machines::Machine& m) {
+  PriorMeasurement pm;
+
+  // Train on seeds disjoint from the eval seeds: record program-carrying
+  // traces into an in-memory sink and fit the prior from them, exactly the
+  // offline `perfdojo train-prior` path minus the filesystem.
+  search::TraceDataset ds;
+  for (std::uint64_t seed : {11, 12, 13}) {
+    Telemetry sink;
+    SearchConfig cfg = priorBaseConfig(seed);
+    cfg.trace_programs = true;
+    cfg.telemetry = &sink;
+    search::runSearch(kernel, m, cfg);
+    search::appendTraceText("train-seed-" + std::to_string(seed),
+                            sink.buffered(), ds);
+  }
+  const auto trained = search::trainPrior(ds, search::TrainConfig{});
+  pm.train_samples = trained.report.n_samples;
+  pm.train_rmse_before = trained.report.holdout_rmse_before;
+  pm.train_rmse_after = trained.report.holdout_rmse_after;
+
+  const std::vector<std::uint64_t> eval_seeds = {3, 4, 5};
+  std::vector<double> noprior_finals, prior_finals;
+  for (std::uint64_t seed : eval_seeds) {
+    const auto off = search::runSearch(kernel, m, priorBaseConfig(seed));
+    SearchConfig on_cfg = priorBaseConfig(seed);
+    on_cfg.prior = &trained.model;
+    on_cfg.prior_topk = kPriorTopk;
+    const auto on = search::runSearch(kernel, m, on_cfg);
+
+    // Both legs race to the no-prior leg's own final best: the prior wins by
+    // getting there in fewer evaluations, and the equal-or-better gate below
+    // keeps it honest about where it ends up.
+    const double target = off.best_runtime;
+    pm.noprior_evals += static_cast<std::int64_t>(evalsToReach(off.trace, target));
+    pm.prior_evals += static_cast<std::int64_t>(evalsToReach(on.trace, target));
+    noprior_finals.push_back(off.best_runtime);
+    prior_finals.push_back(on.best_runtime);
+    pm.prior_filtered += on.stats.prior_filtered;
+    pm.hit_rate += on.stats.prior_hit_rate / eval_seeds.size();
+    pm.rank_corr += on.stats.prior_spearman / eval_seeds.size();
+  }
+  pm.noprior_final = geomean(noprior_finals);
+  pm.prior_final = geomean(prior_finals);
+  return pm;
+}
+
+std::string priorJson(const PriorMeasurement& pm) {
+  std::ostringstream os;
+  os << "{\"budget\":" << kPriorBudget << ",\"topk\":" << kPriorTopk
+     << ",\"train_samples\":" << pm.train_samples
+     << ",\"noprior_evals_to_best\":" << pm.noprior_evals
+     << ",\"prior_evals_to_best\":" << pm.prior_evals
+     << ",\"evals_ratio\":" << pm.ratio()
+     << ",\"noprior_final\":" << pm.noprior_final
+     << ",\"prior_final\":" << pm.prior_final
+     << ",\"prior_filtered\":" << pm.prior_filtered
+     << ",\"hit_rate\":" << pm.hit_rate
+     << ",\"rank_corr\":" << pm.rank_corr << "}\n";
+  return os.str();
+}
+
+int checkPrior(const PriorMeasurement& pm, const std::string& baseline_path) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  JsonValue doc;
+  std::string err;
+  if (!parseJson(ss.str(), doc, &err)) {
+    std::fprintf(stderr, "malformed baseline %s: %s\n", baseline_path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  const double base = doc.numberOr("evals_ratio", 0);
+  if (base <= 0) {
+    std::fprintf(stderr, "baseline %s lacks evals_ratio\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  // Two conditions, per the acceptance contract: the prior must cut
+  // evals-to-best by >= 25% (a hard 0.75 ceiling, never loosened by a bad
+  // baseline) and may not drift more than 25% above its checked-in ratio.
+  const double limit = std::min(0.75, base * 1.25);
+  std::printf("check: evals ratio %.3f vs baseline %.3f (limit %.3f)\n",
+              pm.ratio(), base, limit);
+  if (pm.ratio() > limit) {
+    std::fprintf(stderr, "FAIL: prior evals-to-best ratio regressed: "
+                 "%.3f > %.3f\n", pm.ratio(), limit);
+    return 1;
+  }
+  // Equal-or-better final cost: saving evaluations by converging to a worse
+  // schedule is not a win.
+  std::printf("check: final cost prior %.6g vs no-prior %.6g\n",
+              pm.prior_final, pm.noprior_final);
+  if (pm.prior_final > pm.noprior_final * (1 + 1e-9)) {
+    std::fprintf(stderr, "FAIL: prior final cost worse than no-prior: "
+                 "%.6g > %.6g\n", pm.prior_final, pm.noprior_final);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_prior.json";
+  std::string baseline;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key == "--out") out = argv[i + 1];
+    else if (key == "--check") baseline = argv[i + 1];
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", key.c_str());
+      return 2;
+    }
+  }
   bench::header("Figure 12: search convergence (method x space structure)",
                 "heuristic-structured spaces converge decisively faster than "
                 "edges-structured ones, for both methods");
@@ -86,6 +266,25 @@ int main() {
   bench::paperVsMeasured("heuristic vs edges advantage @50 evals",
                          "decisive",
                          geomean(edges_at50) / geomean(heur_at50), "x");
-  std::printf("best found: edges=%.4g  heuristic=%.4g\n", best_edges, best_heur);
-  return 0;
+  std::printf("best found: edges=%.4g  heuristic=%.4g\n\n", best_edges,
+              best_heur);
+
+  std::printf("--- learned prior (SA/edges, budget %d, topk %d) ---\n",
+              kPriorBudget, kPriorTopk);
+  const auto pm = measurePrior(kernel, m);
+  std::printf("trained on %zu samples (holdout rmse %.4f -> %.4f)\n",
+              pm.train_samples, pm.train_rmse_before, pm.train_rmse_after);
+  std::printf("evals-to-best: no-prior %lld, prior %lld (ratio %.3f)\n",
+              static_cast<long long>(pm.noprior_evals),
+              static_cast<long long>(pm.prior_evals), pm.ratio());
+  std::printf("final cost: no-prior %.6g, prior %.6g\n", pm.noprior_final,
+              pm.prior_final);
+  std::printf("prior gate: %lld neighbors filtered, hit rate %.3f, "
+              "rank corr %.3f\n",
+              static_cast<long long>(pm.prior_filtered), pm.hit_rate,
+              pm.rank_corr);
+  const std::string json = priorJson(pm);
+  std::ofstream(out) << json;
+  std::printf("wrote %s: %s", out.c_str(), json.c_str());
+  return baseline.empty() ? 0 : checkPrior(pm, baseline);
 }

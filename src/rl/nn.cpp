@@ -1,5 +1,6 @@
 #include "rl/nn.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/common.h"
@@ -18,6 +19,35 @@ Linear::Linear(int in, int out, Rng& rng) : in_(in), out_(out) {
   vW_.assign(W_.size(), 0.0);
   mb_.assign(b_.size(), 0.0);
   vb_.assign(b_.size(), 0.0);
+}
+
+Linear::Linear(int in, int out, std::uint64_t seed) : in_(in), out_(out) {
+  require(in > 0 && out > 0, "Linear: dims must be positive");
+  // A private stream per layer: init depends only on (in, out, seed), never
+  // on how many draws other layers consumed first.
+  Rng rng(seed);
+  const double scale = std::sqrt(2.0 / in);
+  W_.resize(static_cast<std::size_t>(in) * out);
+  for (auto& w : W_) w = rng.normal() * scale;
+  b_.assign(static_cast<std::size_t>(out), 0.0);
+  gW_.assign(W_.size(), 0.0);
+  gb_.assign(b_.size(), 0.0);
+  mW_.assign(W_.size(), 0.0);
+  vW_.assign(W_.size(), 0.0);
+  mb_.assign(b_.size(), 0.0);
+  vb_.assign(b_.size(), 0.0);
+}
+
+void Linear::setParams(const Vec& W, const Vec& b) {
+  require(W.size() == W_.size() && b.size() == b_.size(),
+          "Linear::setParams: shape mismatch");
+  W_ = W;
+  b_ = b;
+  std::fill(mW_.begin(), mW_.end(), 0.0);
+  std::fill(vW_.begin(), vW_.end(), 0.0);
+  std::fill(mb_.begin(), mb_.end(), 0.0);
+  std::fill(vb_.begin(), vb_.end(), 0.0);
+  zeroGrad();
 }
 
 Vec Linear::forward(const Vec& x) {

@@ -20,6 +20,15 @@ class Linear {
  public:
   Linear(int in, int out, Rng& rng);
 
+  /// Deterministic seeded initialization: weights are drawn from a private
+  /// Rng(seed), so two layers built with the same (in, out, seed) are
+  /// bit-identical no matter how many other layers were constructed before
+  /// them. The shared-Rng constructor above makes init depend on call order
+  /// (every earlier layer advances the stream), which is fine inside one
+  /// QNetwork but wrong for anything that must reproduce from a config seed
+  /// alone — the offline prior trainer uses this path.
+  Linear(int in, int out, std::uint64_t seed);
+
   Vec forward(const Vec& x);
   /// dy -> dx; accumulates dW, db.
   Vec backward(const Vec& dy);
@@ -33,6 +42,13 @@ class Linear {
 
   /// Copies weights from another layer (target-network sync).
   void copyWeightsFrom(const Linear& other);
+
+  /// Raw parameter access for model serialization (the search prior's
+  /// save/load path). Weights are row-major [out x in].
+  const Vec& weights() const { return W_; }
+  const Vec& bias() const { return b_; }
+  /// Installs parameters (sizes must match); Adam state is reset.
+  void setParams(const Vec& W, const Vec& b);
 
  private:
   int in_, out_;

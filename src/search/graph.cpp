@@ -8,6 +8,7 @@
 #include "search/delta.h"
 #include "search/evalcache.h"
 #include "search/parallel_eval.h"
+#include "search/prior.h"
 #include "support/common.h"
 #include "support/strings.h"
 #include "transform/action_set.h"
@@ -35,7 +36,9 @@ TransformationGraph::TransformationGraph(const ir::Program& root,
                                          int max_depth, std::size_t max_nodes,
                                          EvalCache* cache,
                                          ParallelEvaluator* pool,
-                                         bool use_delta) {
+                                         bool use_delta,
+                                         const PriorModel* prior,
+                                         int prior_topk) {
   root_hash_ = ir::canonicalHash(root);
   nodes_[root_hash_] = {root_hash_, root,
                         nodeCost(m, cache, root_hash_, root), 0};
@@ -87,8 +90,40 @@ TransformationGraph::TransformationGraph(const ir::Program& root,
     } else {
       own_actions = transform::allActions(p, m.caps());
     }
-    const std::vector<transform::Action>& actions =
+    const std::vector<transform::Action>& enumerated =
         use_index ? aset.actions() : own_actions;
+
+    // Prior gate (expansion-side): score each child's canonical text and
+    // keep only the top-k best-predicted actions; the pruned ones are never
+    // hashed, deduplicated or priced. topK returns ascending indices, so
+    // the surviving expansion order matches the unpruned enumeration.
+    std::vector<transform::Action> kept_actions;
+    const bool gate = prior != nullptr && prior->valid() && prior_topk > 0 &&
+                      enumerated.size() > static_cast<std::size_t>(prior_topk);
+    if (gate) {
+      std::vector<double> scores(enumerated.size());
+      if (use_delta) {
+        delta.bind(p);
+        for (std::size_t i = 0; i < enumerated.size(); ++i)
+          delta.neighborVisit(enumerated[i],
+                              [&](std::uint64_t, const ir::Program& q) {
+                                scores[i] = prior->predict(
+                                    prior->features(ir::canonicalText(q)));
+                              });
+      } else {
+        for (std::size_t i = 0; i < enumerated.size(); ++i)
+          scores[i] = prior->predict(
+              prior->features(ir::canonicalText(enumerated[i].apply(p))));
+      }
+      const auto keep =
+          PriorModel::topK(scores, static_cast<std::size_t>(prior_topk));
+      kept_actions.reserve(keep.size());
+      for (const std::size_t i : keep) kept_actions.push_back(enumerated[i]);
+      prior_filtered_ +=
+          static_cast<std::int64_t>(enumerated.size() - keep.size());
+    }
+    const std::vector<transform::Action>& actions =
+        gate ? kept_actions : enumerated;
 
     // Phase 1: identify every child by canonical hash + edge label. The
     // delta path hashes each action in place against `p` (no tree copies;

@@ -15,6 +15,7 @@ namespace perfdojo::search {
 
 class EvalCache;
 class ParallelEvaluator;
+class PriorModel;
 
 struct GraphNode {
   std::uint64_t hash = 0;
@@ -43,14 +44,24 @@ class TransformationGraph {
   /// deduplicated fresh nodes are ever materialized into tree copies. All
   /// three knobs are purely accelerative: the resulting graph is identical
   /// with or without them.
+  ///
+  /// An optional learned prior (search/prior.h) prunes each parent's action
+  /// list to the `prior_topk` best-predicted children before any hashing or
+  /// evaluation; pruned candidates are counted in priorFiltered(). Unlike
+  /// the knobs above this changes the graph — it is the expansion-side
+  /// analogue of the search drivers' top-k gate. prior_topk == 0 ("all") or
+  /// a null prior leaves the expansion untouched.
   TransformationGraph(const ir::Program& root, const machines::Machine& m,
                       int max_depth, std::size_t max_nodes,
                       EvalCache* cache = nullptr,
                       ParallelEvaluator* pool = nullptr,
-                      bool use_delta = true);
+                      bool use_delta = true,
+                      const PriorModel* prior = nullptr, int prior_topk = 0);
 
   std::size_t nodeCount() const { return nodes_.size(); }
   std::size_t edgeCount() const { return edges_.size(); }
+  /// Candidate children skipped by the prior gate before evaluation.
+  std::int64_t priorFiltered() const { return prior_filtered_; }
   const std::map<std::uint64_t, GraphNode>& nodes() const { return nodes_; }
   const std::vector<GraphEdge>& edges() const { return edges_; }
 
@@ -66,6 +77,7 @@ class TransformationGraph {
 
  private:
   std::uint64_t root_hash_ = 0;
+  std::int64_t prior_filtered_ = 0;
   std::map<std::uint64_t, GraphNode> nodes_;
   std::vector<GraphEdge> edges_;
   std::map<std::uint64_t, std::pair<std::uint64_t, std::string>> parent_;

@@ -1,0 +1,230 @@
+#include "search/prior_train.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "rl/nn.h"
+#include "support/common.h"
+#include "support/io.h"
+#include "support/rng.h"
+#include "support/telemetry.h"
+
+namespace perfdojo::search {
+
+namespace {
+
+/// Layer-seed tweaks so the two layers draw from distinct private streams
+/// even though both derive from the one TrainConfig seed.
+constexpr std::uint64_t kSeedL1 = 0x9E3779B97F4A7C15ULL;
+constexpr std::uint64_t kSeedL2 = 0xD1B54A32D192ED03ULL;
+
+}  // namespace
+
+void appendTraceText(const std::string& label, const std::string& text,
+                     TraceDataset& ds) {
+  std::unordered_set<std::string> seen(ds.texts.begin(), ds.texts.end());
+
+  // A trace only contributes samples after a search_begin stamped with the
+  // matching prior_schema: unstamped traces (recorded without
+  // --trace-programs) pass through silently, wrong-version stamps are fatal.
+  bool active = false;
+  std::size_t pos = 0;
+  std::int64_t lineno = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string line = text.substr(
+        pos, nl == std::string::npos ? std::string::npos : nl - pos);
+    pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    ++ds.lines;
+
+    JsonValue doc;
+    if (!parseJson(line, doc, nullptr) ||
+        doc.kind != JsonValue::Kind::Object) {
+      ++ds.malformed;  // truncated tail of a crashed run, or garbage — skip
+      continue;
+    }
+    const std::string type = doc.stringOr("type", "");
+    if (type == "search_begin") {
+      const JsonValue* schema = doc.find("prior_schema");
+      if (!schema || schema->kind != JsonValue::Kind::Number) {
+        active = false;
+        continue;
+      }
+      const int v = static_cast<int>(schema->num);
+      if (v != kPriorSchemaVersion)
+        fail(label + ":" + std::to_string(lineno) + ": trace prior_schema " +
+             std::to_string(v) + " is not supported (expected " +
+             std::to_string(kPriorSchemaVersion) +
+             "); re-record this trace, do not mix versions");
+      active = true;
+      continue;
+    }
+    if (type != "search_eval" || !active) continue;
+    const JsonValue* prog = doc.find("program");
+    if (!prog || prog->kind != JsonValue::Kind::String) continue;
+    const double runtime = doc.numberOr("runtime", -1.0);
+    if (!std::isfinite(runtime) || runtime <= 0) {
+      ++ds.bad_runtime;  // null-cost (non-finite) evaluations carry no label
+      continue;
+    }
+    if (!seen.insert(prog->str).second) {
+      ++ds.duplicates;  // first evaluation wins; repeats would leak into
+      continue;         // the holdout split
+    }
+    ds.texts.push_back(prog->str);
+    ds.runtimes.push_back(runtime);
+  }
+}
+
+void appendTraceFile(const std::string& path, TraceDataset& ds) {
+  appendTraceText(path, readTextFile(path), ds);
+}
+
+TraceDataset loadTraceFiles(const std::vector<std::string>& paths) {
+  TraceDataset ds;
+  for (const auto& p : paths) appendTraceFile(p, ds);
+  return ds;
+}
+
+TrainResult trainPrior(const TraceDataset& ds, const TrainConfig& cfg) {
+  require(ds.size() > 0, "train-prior: no trainable samples");
+  require(ds.texts.size() == ds.runtimes.size(),
+          "train-prior: dataset text/runtime size mismatch");
+  require(cfg.dim > 0 && cfg.hidden > 0 && cfg.epochs > 0 && cfg.batch > 0,
+          "train-prior: bad config");
+  require(cfg.holdout >= 0 && cfg.holdout < 1, "train-prior: bad holdout");
+
+  const std::size_t n = ds.size();
+  const rl::TextEmbedder emb(cfg.dim, cfg.embed_seed);
+  std::vector<std::vector<double>> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = emb.embed(ds.texts[i]);
+    y[i] = std::log(ds.runtimes[i]);
+  }
+
+  // Deterministic split: Fisher-Yates with the config seed, holdout first.
+  Rng rng(cfg.seed);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+  std::size_t n_holdout =
+      n > 1 ? std::max<std::size_t>(1, static_cast<std::size_t>(
+                                           static_cast<double>(n) * cfg.holdout))
+            : 0;
+  if (n_holdout >= n) n_holdout = n - 1;
+  std::vector<std::size_t> holdout(order.begin(),
+                                   order.begin() + static_cast<std::ptrdiff_t>(n_holdout));
+  std::vector<std::size_t> train(order.begin() + static_cast<std::ptrdiff_t>(n_holdout),
+                                 order.end());
+
+  // Standardize log-runtimes with TRAIN-split moments only; the moments ship
+  // inside the model so inference can undo them.
+  double mean = 0;
+  for (std::size_t i : train) mean += y[i];
+  mean /= static_cast<double>(train.size());
+  double var = 0;
+  for (std::size_t i : train) var += (y[i] - mean) * (y[i] - mean);
+  double stddev = std::sqrt(var / static_cast<double>(train.size()));
+  if (!(stddev > 0) || !std::isfinite(stddev)) stddev = 1.0;
+  for (auto& v : y) v = (v - mean) / stddev;
+
+  rl::Linear l1(cfg.dim, cfg.hidden, cfg.seed ^ kSeedL1);
+  rl::Linear l2(cfg.hidden, 1, cfg.seed ^ kSeedL2);
+
+  auto predict = [&](std::size_t i) {
+    return l2.forward(rl::relu(l1.forward(x[i])))[0];
+  };
+  auto rmse = [&](const std::vector<std::size_t>& idx) {
+    if (idx.empty()) return 0.0;
+    double acc = 0;
+    for (std::size_t i : idx) {
+      const double e = predict(i) - y[i];
+      acc += e * e;
+    }
+    return std::sqrt(acc / static_cast<double>(idx.size()));
+  };
+  const std::vector<std::size_t>& eval_split = holdout.empty() ? train : holdout;
+
+  TrainReport rep;
+  rep.n_samples = n;
+  rep.n_train = train.size();
+  rep.n_holdout = holdout.size();
+  rep.holdout_rmse_before = rmse(eval_split);
+
+  int adam_t = 0;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (std::size_t i = train.size(); i > 1; --i)
+      std::swap(train[i - 1], train[rng.uniform(i)]);
+    std::size_t done = 0;
+    while (done < train.size()) {
+      const std::size_t stop =
+          std::min(done + static_cast<std::size_t>(cfg.batch), train.size());
+      for (; done < stop; ++done) {
+        const std::size_t i = train[done];
+        const rl::Vec x1 = l1.forward(x[i]);
+        const rl::Vec h = rl::relu(x1);
+        const double pred = l2.forward(h)[0];
+        const rl::Vec dh = l2.backward({pred - y[i]});
+        l1.backward(rl::reluBackward(dh, x1));
+      }
+      ++adam_t;
+      l1.adamStep(cfg.lr, adam_t);
+      l2.adamStep(cfg.lr, adam_t);
+    }
+  }
+
+  rep.holdout_rmse_after = rmse(eval_split);
+  rep.train_rmse_after = rmse(train);
+
+  TrainResult out;
+  out.model = PriorModel::make(cfg.dim, cfg.hidden, cfg.embed_seed, mean,
+                               stddev, l1.weights(), l1.bias(), l2.weights(),
+                               l2.bias());
+  out.report = rep;
+  return out;
+}
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  if (n != b.size() || n < 2) return 0.0;
+  auto ranks = [n](const std::vector<double>& v) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t p, std::size_t q) { return v[p] < v[q]; });
+    std::vector<double> r(n);
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i;
+      while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+      const double avg = 0.5 * (static_cast<double>(i) + static_cast<double>(j));
+      for (std::size_t k = i; k <= j; ++k) r[idx[k]] = avg;
+      i = j + 1;
+    }
+    return r;
+  };
+  const std::vector<double> ra = ranks(a), rb = ranks(b);
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double sab = 0, saa = 0, sbb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = ra[i] - ma, db = rb[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (!(saa > 0) || !(sbb > 0)) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace perfdojo::search

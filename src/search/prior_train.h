@@ -1,0 +1,97 @@
+// Offline trainer for the learned search prior (`perfdojo train-prior`).
+//
+// Input: JSONL search telemetry recorded with --trace-programs, where each
+// search_begin is stamped with `prior_schema` and each search_eval carries
+// the candidate's canonical text plus its exact machine-model runtime.
+// Output: a PriorModel (tiny MLP over the hashed-n-gram embedding fit to
+// standardized log-runtimes) plus a TrainReport with held-out error before
+// and after fitting.
+//
+// Parsing is diagnostic, never fatal on bad *lines*: malformed or truncated
+// JSONL lines are skipped and counted, so a trace clipped by a crashed run
+// still trains. Bad *versions* are fatal: a search_begin stamped with a
+// different prior_schema means the feature definition changed and silently
+// mixing it in would poison the dataset, so the loader throws with the file
+// and line. Traces recorded without --trace-programs simply contribute no
+// samples.
+//
+// Everything is deterministic from TrainConfig alone: holdout split and
+// epoch shuffles come from Rng(seed), layer init from the seeded Linear
+// constructor (call-order independent), so identical traces + config yield a
+// bit-identical model file on any machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "search/prior.h"
+
+namespace perfdojo::search {
+
+/// Deduplicated (canonical text, runtime seconds) pairs plus parse counters.
+struct TraceDataset {
+  std::vector<std::string> texts;
+  std::vector<double> runtimes;  // parallel to texts, finite and > 0
+
+  std::int64_t lines = 0;       // total lines seen (including blank)
+  std::int64_t malformed = 0;   // unparseable / non-object lines, skipped
+  std::int64_t bad_runtime = 0; // program-bearing evals with no usable cost
+  std::int64_t duplicates = 0;  // repeated canonical texts (first one kept)
+
+  std::size_t size() const { return texts.size(); }
+};
+
+/// Parses JSONL trace text into `ds` (`label` names the source in
+/// diagnostics). Malformed lines are counted and skipped; a search_begin
+/// carrying an unsupported `prior_schema` throws Error naming the source,
+/// line and both versions.
+void appendTraceText(const std::string& label, const std::string& text,
+                     TraceDataset& ds);
+
+/// appendTraceText over a file's contents.
+void appendTraceFile(const std::string& path, TraceDataset& ds);
+
+/// appendTraceFile over several files into one dataset.
+TraceDataset loadTraceFiles(const std::vector<std::string>& paths);
+
+struct TrainConfig {
+  int dim = 48;                        // embedding width (model input)
+  std::uint64_t embed_seed = 0xE5CAFE; // must match search-side TextEmbedder
+  int hidden = 24;
+  int epochs = 60;
+  int batch = 16;
+  double lr = 5e-3;
+  double holdout = 0.25;  // fraction of samples held out (at least 1 if n > 1)
+  std::uint64_t seed = 1; // drives split, shuffles and layer init
+};
+
+struct TrainReport {
+  std::size_t n_samples = 0;
+  std::size_t n_train = 0;
+  std::size_t n_holdout = 0;
+  // RMSE in standardized log-runtime units on the held-out split, measured
+  // at initialization and after the final epoch. `shrinks` is the trained
+  // model beating its own untrained initialization — the property the test
+  // suite asserts on a synthetic dataset. With no holdout (n < 2) the train
+  // split is measured instead.
+  double holdout_rmse_before = 0.0;
+  double holdout_rmse_after = 0.0;
+  double train_rmse_after = 0.0;
+  bool shrinks() const { return holdout_rmse_after < holdout_rmse_before; }
+};
+
+struct TrainResult {
+  PriorModel model;
+  TrainReport report;
+};
+
+/// Fits the prior. Throws Error if the dataset is empty.
+TrainResult trainPrior(const TraceDataset& ds, const TrainConfig& cfg);
+
+/// Spearman rank correlation with average ranks for ties; 0 when either
+/// input is constant or sizes mismatch/are < 2. Used by the trainer's
+/// report, the co-evolution fields on search_end, and the test suite.
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace perfdojo::search

@@ -16,6 +16,8 @@
 #include "search/evalcache.h"
 #include "search/parallel_eval.h"
 #include "search/pass.h"
+#include "search/prior.h"
+#include "search/prior_train.h"
 #include "support/common.h"
 #include "support/telemetry.h"
 
@@ -308,6 +310,14 @@ struct Tracker {
   TerminationReason reason = TerminationReason::BudgetExhausted;
   Telemetry* sink = nullptr;   // optional; record() runs on the decision
                                // thread only, so the event order is fixed
+  bool trace_programs = false;  // add canonical text to search_eval events
+
+  // Prior-gate accounting (edges drivers fill these when a prior is active):
+  // skipped neighbors, and (predicted, exact) pairs plus the improving count
+  // for every kept candidate that reached exact pricing.
+  std::int64_t prior_filtered = 0;
+  std::int64_t prior_improving = 0;
+  std::vector<double> prior_pred, prior_exact;
 
   explicit Tracker(int b) : budget(b) {}
 
@@ -320,12 +330,14 @@ struct Tracker {
     return std::isfinite(runtime) && runtime >= 0;
   }
 
-  void emitEval(double runtime) {
+  /// `text` renders the candidate's canonical form; it is only invoked in
+  /// dataset-recording mode, so the default trace pays nothing for it.
+  void emitEval(double runtime, const std::function<std::string()>& text) {
     if (!sink) return;
-    sink->emit(Event("search_eval")
-                   .integer("eval", evals)
-                   .num("runtime", runtime)
-                   .num("best", best_runtime));
+    Event e("search_eval");
+    e.integer("eval", evals).num("runtime", runtime).num("best", best_runtime);
+    if (trace_programs) e.str("program", text());
+    sink->emit(e);
   }
 
   void record(const ir::Program& p, double runtime) {
@@ -337,7 +349,7 @@ struct Tracker {
       best = p;
     }
     trace.push_back(best_runtime);
-    emitEval(runtime);
+    emitEval(runtime, [&] { return ir::canonicalText(p); });
   }
 
   /// Record an evaluation whose program is materialized lazily — used by the
@@ -352,7 +364,7 @@ struct Tracker {
       best = make();
     }
     trace.push_back(best_runtime);
-    emitEval(runtime);
+    emitEval(runtime, [&] { return ir::canonicalText(make()); });
   }
 };
 
@@ -396,6 +408,82 @@ class DeferredEvals {
 
 constexpr double kPendingRuntime = -1.0;
 
+/// Per-state neighbor filter around the learned prior: rebind() scores a
+/// state's whole neighbor set from canonical text and keeps the top-k
+/// best-predicted indices drawable; everything else is skipped before any
+/// exact pricing and counted in Tracker::prior_filtered.
+///
+/// Determinism contract: the filter runs on the decision thread, scoring is
+/// a pure function of (model, canonical text), and the kept list is returned
+/// in ascending index order — so the subsequent uniform draw over it depends
+/// only on the seed. When the gate is inactive (no model, or topk spells
+/// "all") the kept list is the identity over the same index range, the draw
+/// consumes the identical uniform(n) call, and the run is bit-identical to
+/// one without a prior.
+class PriorGate {
+ public:
+  PriorGate(const SearchConfig& cfg, Tracker& tr)
+      : prior_(cfg.prior),
+        topk_(static_cast<std::size_t>(cfg.prior_topk > 0 ? cfg.prior_topk : 0)),
+        tr_(tr) {
+    active_ = prior_ != nullptr && prior_->valid() && topk_ > 0;
+  }
+
+  bool active() const { return active_; }
+
+  /// Rescores for a new current state. `dctx` (when non-null and bound to
+  /// `cur`) renders neighbors in place on the delta scratch; otherwise each
+  /// neighbor is applied into a copy just for scoring.
+  void rebind(const std::vector<Action>& actions, const ir::Program& cur,
+              DeltaContext* dctx) {
+    scores_.clear();
+    allowed_.resize(actions.size());
+    for (std::size_t i = 0; i < allowed_.size(); ++i) allowed_[i] = i;
+    if (!active_ || actions.size() <= topk_) return;
+    scores_.resize(actions.size());
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      std::string text;
+      if (dctx) {
+        dctx->neighborVisit(actions[i],
+                            [&](std::uint64_t, const ir::Program& q) {
+                              text = ir::canonicalText(q);
+                            });
+      } else {
+        text = ir::canonicalText(actions[i].apply(cur));
+      }
+      scores_[i] = prior_->predict(prior_->features(text));
+    }
+    allowed_ = PriorModel::topK(scores_, topk_);
+    tr_.prior_filtered +=
+        static_cast<std::int64_t>(actions.size() - allowed_.size());
+  }
+
+  /// Drawable indices into the state's action list (ascending).
+  const std::vector<std::size_t>& allowed() const { return allowed_; }
+
+  /// Whether the current state was actually scored (active and over-budget
+  /// neighbor set); only scored states contribute co-evolution pairs.
+  bool scored() const { return !scores_.empty(); }
+  double scoreOf(std::size_t ai) const { return scores_[ai]; }
+
+  /// Logs one kept candidate's exact price against its prediction; `ref_rt`
+  /// is the cost the candidate had to beat (current state / parent).
+  void note(std::size_t ai, double exact_rt, double ref_rt) {
+    if (!scored()) return;
+    tr_.prior_pred.push_back(scores_[ai]);
+    tr_.prior_exact.push_back(exact_rt);
+    if (exact_rt < ref_rt) ++tr_.prior_improving;
+  }
+
+ private:
+  const PriorModel* prior_;
+  std::size_t topk_;
+  Tracker& tr_;
+  bool active_ = false;
+  std::vector<double> scores_;
+  std::vector<std::size_t> allowed_;
+};
+
 /// Runtimes stored in sampling pools feed 1/runtime draw weights; one NaN or
 /// inf entry would poison every subsequent Rng::weightedIndex call. Store
 /// degenerate costs as a huge-but-finite sentinel instead (weight ~0: such a
@@ -426,6 +514,14 @@ void randomSamplingEdges(const ir::Program& kernel,
   const bool use_index = cfg.use_action_index;
   transform::ActionSet aset;
   std::size_t cached_pi = static_cast<std::size_t>(-1);
+  // The prior gate follows the same reuse pattern as the ActionSet: a drawn
+  // parent's neighbor scores stay valid until the draw moves to another pool
+  // entry (entries are immutable), so rescoring happens once per parent
+  // streak, not once per draw. The allowed indices target the deterministic
+  // action enumeration, which is identical whether it came from the index or
+  // a fresh allActions pass.
+  PriorGate gate(cfg, tr);
+  std::size_t gate_pi = static_cast<std::size_t>(-1);
   // Parent draws depend only on parent_runtime values (known at submission
   // time), never on a candidate's own cost, so evaluations can lag behind
   // proposals by a full batch without changing any decision.
@@ -452,18 +548,37 @@ void randomSamplingEdges(const ir::Program& kernel,
       continue;
     }
     barren = 0;
-    const auto& a = actions[rng.uniform(actions.size())];
+    if (pi != gate_pi) {
+      gate.rebind(actions, parent.program, nullptr);
+      gate_pi = pi;
+    }
+    const std::vector<std::size_t>& allowed = gate.allowed();
+    const std::size_t ai = allowed[rng.uniform(allowed.size())];
+    const auto& a = actions[ai];
     ir::Program child = a.apply(parent.program);
-    const std::size_t slot = pool.size();
-    pool.push_back({child, kPendingRuntime, parent.runtime});
-    batch.submit(std::move(child), [&pool, slot](double rt) {
-      pool[slot].runtime = poolRuntime(rt);
-    });
+    const double parent_rt = parent.runtime;  // before push_back invalidates
+    const std::size_t slot = pool.size();     // the `parent` reference
+    pool.push_back({child, kPendingRuntime, parent_rt});
+    // The exact price arrives at flush time; log the co-evolution pair then
+    // (flush resolves callbacks in submission order on the decision thread,
+    // so the pair sequence is as deterministic as the trace itself).
+    const bool noted = gate.scored();
+    const double pred = noted ? gate.scoreOf(ai) : 0.0;
+    batch.submit(std::move(child),
+                 [&pool, slot, &tr, noted, pred, parent_rt](double rt) {
+                   pool[slot].runtime = poolRuntime(rt);
+                   if (noted) {
+                     tr.prior_pred.push_back(pred);
+                     tr.prior_exact.push_back(rt);
+                     if (rt < parent_rt) ++tr.prior_improving;
+                   }
+                 });
     if (batch.inFlight() >= ev.batchLimit()) batch.flush();
     if (pool.size() > 4096) {
       batch.flush();  // resolve slot indices before compacting
       pool.erase(pool.begin(), pool.begin() + 1024);
       cached_pi = static_cast<std::size_t>(-1);  // indices shifted
+      gate_pi = static_cast<std::size_t>(-1);
     }
   }
   batch.flush();
@@ -495,15 +610,19 @@ constexpr int kPrimeAfterRejects = 2;
 /// never change a decision: the real loop re-draws from its own RNG and
 /// reads the same deterministic costs, now warm.
 void primeNeighbors(const std::vector<Action>& actions,
+                    const std::vector<std::size_t>& allowed,
                     std::vector<double>& action_cost, const ir::Program& cur,
                     Rng rng_clone, int evals_remaining, bool use_delta,
                     DeltaContext& dctx, Eval& ev) {
-  if (actions.empty() || evals_remaining <= 0) return;
+  if (allowed.empty() || evals_remaining <= 0) return;
   std::vector<std::size_t> picks;
   std::vector<char> picked(actions.size(), 0);
   const int lookahead = std::min(kPrimeLookahead, evals_remaining);
   for (int t = 0; t < lookahead && picks.size() < kPrimeBatch; ++t) {
-    const std::size_t ai = rng_clone.uniform(actions.size());
+    // Mirror the real loop's draw exactly: a uniform over the prior-allowed
+    // indices. Without an active gate `allowed` is the identity over the
+    // full action range, so the simulated stream is the pre-prior one.
+    const std::size_t ai = allowed[rng_clone.uniform(allowed.size())];
     if (!picked[ai]) {
       picked[ai] = 1;
       picks.push_back(ai);
@@ -604,6 +723,10 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
     dctx.bind(*cur);
     cur = &dctx.base();
   }
+  // Prior gate: rescored at every state (re)bind, after the delta context is
+  // aimed at the new state so scoring can render neighbors in place.
+  PriorGate gate(cfg, tr);
+  gate.rebind(*actions, *cur, use_delta ? &dctx : nullptr);
   int rejects_here = 0;    // consecutive rejections at the current state
   bool primed_here = false;  // this state's neighbor set already primed
   while (!tr.exhausted()) {
@@ -623,6 +746,7 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
         own_actions = transform::allActions(*cur, m.caps());
       }
       action_cost.assign(actions->size(), kPendingRuntime);
+      gate.rebind(*actions, *cur, use_delta ? &dctx : nullptr);
       rejects_here = 0;
       primed_here = false;
       if (actions->empty()) {
@@ -631,7 +755,8 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
       }
       continue;
     }
-    const std::size_t ai = rng.uniform(actions->size());
+    const std::vector<std::size_t>& allowed = gate.allowed();
+    const std::size_t ai = allowed[rng.uniform(allowed.size())];
     double rt;
     std::optional<ir::Program> cand;
     const bool memo_hit = ev.memoizing() && action_cost[ai] != kPendingRuntime;
@@ -653,6 +778,7 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
                            rt = ev.costInPlace(h, q);
                          });
       action_cost[ai] = rt;
+      gate.note(ai, rt, cur_rt);
       // The tracker materializes lazily iff the candidate improves the best
       // (identical program: cur IS the delta base).
       tr.record(rt, [&] { return (*actions)[ai].apply(*cur); });
@@ -660,6 +786,7 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
       cand = (*actions)[ai].apply(*cur);
       rt = ev.cost(*cand);
       action_cost[ai] = rt;
+      gate.note(ai, rt, cur_rt);
       tr.record(*cand, rt);
     }
     const double delta = (rt - cur_rt) / base_rt;
@@ -709,6 +836,7 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
         own_actions = transform::allActions(*cur, m.caps());
       }
       action_cost.assign(actions->size(), kPendingRuntime);
+      gate.rebind(*actions, *cur, use_delta ? &dctx : nullptr);
       rejects_here = 0;
       primed_here = false;
     } else if (batch && !primed_here &&
@@ -716,8 +844,8 @@ void annealingEdges(const ir::Program& kernel, const machines::Machine& m,
       // The walk is stalling on this state: prime the neighbors the cloned
       // RNG says it is about to draw, batching their memo misses.
       primed_here = true;
-      primeNeighbors(*actions, action_cost, *cur, rng, cfg.budget - tr.evals,
-                     use_delta, dctx, ev);
+      primeNeighbors(*actions, gate.allowed(), action_cost, *cur, rng,
+                     cfg.budget - tr.evals, use_delta, dctx, ev);
     }
     temp *= cfg.sa_decay;  // decays once per recorded evaluation
   }
@@ -916,13 +1044,20 @@ SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
   Tracker tr(cfg.budget);
   tr.best = kernel;
   tr.sink = cfg.telemetry;
-  if (cfg.telemetry)
-    cfg.telemetry->emit(Event("search_begin")
-                            .str("machine", m.name())
-                            .str("method", searchMethodName(cfg.method))
-                            .str("structure", spaceStructureName(cfg.structure))
-                            .integer("budget", cfg.budget)
-                            .integer("seed", static_cast<std::int64_t>(cfg.seed)));
+  tr.trace_programs = cfg.trace_programs;
+  if (cfg.telemetry) {
+    Event b("search_begin");
+    b.str("machine", m.name())
+        .str("method", searchMethodName(cfg.method))
+        .str("structure", spaceStructureName(cfg.structure))
+        .integer("budget", cfg.budget)
+        .integer("seed", static_cast<std::int64_t>(cfg.seed));
+    // The schema stamp rides with the program text it describes: traces
+    // recorded without --trace-programs stay byte-identical to older runs,
+    // and the trainer knows exactly which feature definition it is reading.
+    if (cfg.trace_programs) b.integer("prior_schema", kPriorSchemaVersion);
+    cfg.telemetry->emit(b);
+  }
   if (cfg.structure == SpaceStructure::Edges) {
     if (cfg.method == SearchMethod::RandomSampling)
       randomSamplingEdges(kernel, m, cfg, ev, tr);
@@ -942,25 +1077,46 @@ SearchResult runSearch(const ir::Program& kernel, const machines::Machine& m,
   r.trace = std::move(tr.trace);
   ev.fillStats(r.stats);
   r.stats.nonfinite_rejected = tr.nonfinite;
+  // Co-evolution diagnostics: how the prior's predictions fared against the
+  // exact prices it let through. Only the edges drivers consult the gate.
+  const bool prior_active = cfg.prior != nullptr && cfg.prior->valid() &&
+                            cfg.prior_topk > 0 &&
+                            cfg.structure == SpaceStructure::Edges;
+  r.stats.prior_filtered = tr.prior_filtered;
+  r.stats.prior_kept = static_cast<std::int64_t>(tr.prior_pred.size());
+  if (!tr.prior_pred.empty()) {
+    r.stats.prior_hit_rate = static_cast<double>(tr.prior_improving) /
+                             static_cast<double>(tr.prior_pred.size());
+    r.stats.prior_spearman = spearman(tr.prior_pred, tr.prior_exact);
+  }
   r.stats.best_trace = r.trace;
   r.stats.wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 start)
           .count();
-  if (cfg.telemetry)
+  if (cfg.telemetry) {
     // Cache hit/miss totals live here rather than in per-eval events: their
     // per-event split is thread-schedule dependent, the totals are not.
-    cfg.telemetry->emit(Event("search_end")
-                            .num("best_runtime", r.best_runtime)
-                            .str("reason", terminationReasonName(r.reason))
-                            .integer("evals", r.evals)
-                            .integer("cache_hits", r.stats.cache_hits)
-                            .integer("machine_evals", r.stats.machine_evals)
-                            .integer("primed_evals", r.stats.primed_evals)
-                            .integer("unique_programs", r.stats.unique_programs)
-                            .integer("nonfinite_rejected",
-                                     r.stats.nonfinite_rejected)
-                            .num("wall_ms", r.stats.wall_ms));
+    Event e("search_end");
+    e.num("best_runtime", r.best_runtime)
+        .str("reason", terminationReasonName(r.reason))
+        .integer("evals", r.evals)
+        .integer("cache_hits", r.stats.cache_hits)
+        .integer("machine_evals", r.stats.machine_evals)
+        .integer("primed_evals", r.stats.primed_evals)
+        .integer("unique_programs", r.stats.unique_programs)
+        .integer("nonfinite_rejected", r.stats.nonfinite_rejected);
+    // Prior fields only when a filtering prior ran: a run with --no-prior or
+    // --prior-topk=all stays byte-identical to one that never had a prior.
+    if (prior_active) {
+      e.integer("prior_filtered", r.stats.prior_filtered)
+          .integer("prior_kept", r.stats.prior_kept)
+          .num("prior_hit_rate", r.stats.prior_hit_rate)
+          .num("prior_spearman", r.stats.prior_spearman);
+    }
+    e.num("wall_ms", r.stats.wall_ms);
+    cfg.telemetry->emit(e);
+  }
   return r;
 }
 

@@ -26,6 +26,7 @@ class Telemetry;
 namespace perfdojo::search {
 
 class EvalCache;
+class PriorModel;
 
 enum class SearchMethod { RandomSampling, SimulatedAnnealing };
 enum class SpaceStructure { Edges, Heuristic };
@@ -93,6 +94,23 @@ struct SearchConfig {
   /// subtrees re-render. When false (--no-rebase) every acceptance re-binds
   /// from scratch. Hashes are bit-identical either way.
   bool use_rebase = true;
+  /// Optional learned cost-model prior (search/prior.h) for the edges
+  /// structure: each state's neighbor set is scored from canonical text and
+  /// only the prior_topk best-predicted neighbors stay drawable; the rest
+  /// are skipped before any exact pricing and counted in
+  /// SearchStats::prior_filtered. Decisions are still made exclusively on
+  /// exact costs — the prior chooses what gets priced, never what a price
+  /// is. nullptr = no prior (the CLI's --no-prior).
+  const PriorModel* prior = nullptr;
+  /// Neighbors kept per state by the prior filter. 0 spells "all": the
+  /// prior scores nothing, the draw stream is untouched, and traces are
+  /// bit-identical to a run without a prior (kPriorTopkAll).
+  int prior_topk = 0;
+  /// Dataset-recording mode for `perfdojo train-prior`: stamps search_begin
+  /// with `prior_schema` and adds each candidate's canonical program text to
+  /// its search_eval event. Off by default — the extra fields mean traces
+  /// only match older recordings when this is off.
+  bool trace_programs = false;
   /// Optional JSONL event sink (nullptr = off). Per-evaluation and per-SA-step
   /// events are emitted from the search decision thread only, so for a given
   /// seed the trace is bit-identical at any `threads` setting.
@@ -113,6 +131,16 @@ struct SearchStats {
   /// accepted by annealing, stored in sampling pools only as a huge finite
   /// sentinel (a broken model cannot poison the search state).
   std::int64_t nonfinite_rejected = 0;
+  /// Neighbors the learned prior filtered out before exact pricing, and
+  /// kept candidates that were exact-priced while the prior was active.
+  std::int64_t prior_filtered = 0;
+  std::int64_t prior_kept = 0;
+  /// Co-evolution diagnostics over the kept exact-priced candidates (0 when
+  /// no prior was active): fraction that improved on their state, and the
+  /// Spearman rank correlation of predicted vs exact cost. Also emitted on
+  /// search_end, so accumulated traces grade the prior they were made with.
+  double prior_hit_rate = 0;
+  double prior_spearman = 0;
   int threads_used = 1;
   double wall_ms = 0;                // wall-clock of the whole search
   /// Best-so-far runtime after each requested evaluation (the convergence

@@ -26,6 +26,9 @@
 //                      [--count N] [--seed S]   # emit request lines
 //   perfdojo client    --cold cold.jsonl --warm warm.jsonl
 //                      # verify a warm re-serve against its cold run
+//   perfdojo train-prior --trace-in a.jsonl,b.jsonl --model-out prior.json
+//                      # fit the learned cost-model prior from traces
+//                      # recorded with `optimize ... --trace-programs 1`
 //
 // Exit status is non-zero on unknown kernels/machines/flags and malformed
 // numeric flag values, and for `fuzz` also when any oracle failure is found
@@ -53,6 +56,8 @@
 #include "search/delta.h"
 #include "search/exact.h"
 #include "search/pass.h"
+#include "search/prior.h"
+#include "search/prior_train.h"
 #include "search/search.h"
 #include "support/io.h"
 #include "support/numeric.h"
@@ -123,9 +128,21 @@ double flagDouble(const Args& a, const std::string& key, double def, double lo,
   return v;
 }
 
+/// --prior-topk spells "all" (keep every neighbor, prior inert) or a
+/// positive neighbor count. A typo must be a diagnostic, never a silent 0.
+int flagPriorTopk(const Args& a) {
+  auto it = a.flags.find("prior-topk");
+  if (it == a.flags.end() || it->second == "all") return search::kPriorTopkAll;
+  std::int64_t v = 0;
+  if (!parseInt64(it->second, v) || v < 1 || v > 1000000)
+    fail("invalid --prior-topk '" + it->second +
+         "': expected 'all' or an integer in [1, 1000000]");
+  return static_cast<int>(v);
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: perfdojo <list|show|optimize|profile|compare|libgen|fuzz|serve|client|certs> [flags]\n"
+               "usage: perfdojo <list|show|optimize|profile|compare|libgen|fuzz|serve|client|certs|train-prior> [flags]\n"
                "  --kernel <label>    (see `perfdojo list`)\n"
                "  --machine <name>    snitch | xeon | gh200 | mi300a\n"
                "  --tier <t>          naive | greedy | heuristic | sa | rl | exact | best\n"
@@ -151,6 +168,17 @@ int usage() {
                "  --emit <fmt>        ir | c | cuda\n"
                "  --out <dir>         libgen / fuzz-witness output directory\n"
                "  --trace-out <file>  append JSONL telemetry events to <file>\n"
+               "learned-prior flags (optimize --tier sa, edges structure):\n"
+               "  --structure <s>     edges | heuristic (search-space structure)\n"
+               "  --prior <file>      load a trained cost-model prior\n"
+               "  --prior-topk <k|all>  neighbors kept per state ('all' = inert)\n"
+               "  --no-prior <0|1>    1 ignores --prior entirely\n"
+               "  --trace-programs <0|1>  1 records canonical program text in the\n"
+               "                      trace (the train-prior dataset)\n"
+               "train-prior flags:\n"
+               "  --trace-in <a,b>    comma-separated JSONL trace files\n"
+               "  --model-out <file>  where the trained model is written\n"
+               "  --hidden/--epochs/--lr/--holdout/--seed  training knobs\n"
                "profile flags (per-transform cost attribution):\n"
                "  --method <m>        naive | greedy | heuristic | best\n"
                "  --top <n>           scopes shown in the attribution table\n"
@@ -247,6 +275,10 @@ int cmdOptimize(const Args& a) {
   else if (method == "search") {
     search::SearchConfig sc;
     sc.budget = budget;
+    if (const auto s = a.get("structure", "heuristic"); s == "edges")
+      sc.structure = search::SpaceStructure::Edges;
+    else if (s != "heuristic")
+      fail("invalid --structure '" + s + "': expected edges or heuristic");
     sc.threads = static_cast<int>(flagInt(a, "threads", 0, 0, 4096));
     sc.use_cache = a.get("no-cache", "0") != "1";
     sc.use_delta = a.get("no-delta", "0") != "1";
@@ -254,7 +286,17 @@ int cmdOptimize(const Args& a) {
     sc.batch_neighbors = a.get("no-batch", "0") != "1";
     sc.use_action_index = a.get("no-action-index", "0") != "1";
     sc.use_rebase = a.get("no-rebase", "0") != "1";
+    sc.trace_programs = a.get("trace-programs", "0") == "1";
     sc.telemetry = trace.get();
+    // The prior must outlive the search; --no-prior wins over --prior so a
+    // scripted invocation can be neutralized without editing its flag list.
+    search::PriorModel prior;
+    if (const auto path = a.get("prior");
+        !path.empty() && a.get("no-prior", "0") != "1") {
+      sc.prior_topk = flagPriorTopk(a);  // flag diagnostics before file I/O
+      prior = search::PriorModel::load(path);
+      sc.prior = &prior;
+    }
     const auto r = search::runSearch(base, *m, sc);
     tuned = r.best;
     evals = r.evals;
@@ -268,6 +310,13 @@ int cmdOptimize(const Args& a) {
                  static_cast<long long>(st.machine_evals),
                  static_cast<long long>(st.unique_programs), st.threads_used,
                  st.wall_ms);
+    if (sc.prior != nullptr && sc.prior_topk > 0)
+      std::fprintf(stderr,
+                   "prior stats: %lld neighbors filtered, %lld kept+priced, "
+                   "hit rate %.3f, spearman %.3f\n",
+                   static_cast<long long>(st.prior_filtered),
+                   static_cast<long long>(st.prior_kept), st.prior_hit_rate,
+                   st.prior_spearman);
   } else if (method == "exact") {
     search::ExactConfig ec;
     ec.depth = static_cast<int>(flagInt(a, "depth", 3, 1, 64));
@@ -679,6 +728,44 @@ int cmdCerts(const Args& a) {
   return bad == 0 ? 0 : 1;
 }
 
+/// `train-prior`: JSONL traces -> dataset -> fitted PriorModel file. Bad
+/// lines are skipped with a counted diagnostic; an empty dataset (or a
+/// mixed-version trace) is a hard error with a nonzero exit.
+int cmdTrainPrior(const Args& a) {
+  const auto in = a.get("trace-in");
+  const auto out = a.get("model-out");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "train-prior: --trace-in and --model-out are required\n");
+    return 2;
+  }
+  std::vector<std::string> paths;
+  for (const auto& t : splitTokens(in, ','))
+    if (!trim(t).empty()) paths.push_back(trim(t));
+  const auto ds = search::loadTraceFiles(paths);
+  std::fprintf(stderr,
+               "train-prior: %zu files, %lld lines (%lld malformed skipped, "
+               "%lld duplicate programs, %lld unlabeled evals), %zu samples\n",
+               paths.size(), static_cast<long long>(ds.lines),
+               static_cast<long long>(ds.malformed),
+               static_cast<long long>(ds.duplicates),
+               static_cast<long long>(ds.bad_runtime), ds.size());
+  search::TrainConfig cfg;
+  cfg.hidden = static_cast<int>(flagInt(a, "hidden", cfg.hidden, 1, 4096));
+  cfg.epochs = static_cast<int>(flagInt(a, "epochs", cfg.epochs, 1, 100000));
+  cfg.lr = flagDouble(a, "lr", cfg.lr, 1e-8, 1.0);
+  cfg.holdout = flagDouble(a, "holdout", cfg.holdout, 0.0, 0.9);
+  cfg.seed = flagSeed(a, "seed", cfg.seed);
+  const auto r = search::trainPrior(ds, cfg);  // throws on an empty dataset
+  r.model.save(out);
+  std::fprintf(stderr,
+               "train-prior: %zu samples (%zu train / %zu holdout), holdout "
+               "rmse %.4f -> %.4f, model written to %s\n",
+               r.report.n_samples, r.report.n_train, r.report.n_holdout,
+               r.report.holdout_rmse_before, r.report.holdout_rmse_after,
+               out.c_str());
+  return 0;
+}
+
 void printOracleReport(const char* label, const fuzz::OracleReport& r) {
   if (r.ok)
     std::fprintf(stderr, "%s: ok\n", label);
@@ -772,6 +859,7 @@ int main(int argc, char** argv) {
     if (a.command == "serve") return cmdServe(a);
     if (a.command == "client") return cmdClient(a);
     if (a.command == "certs") return cmdCerts(a);
+    if (a.command == "train-prior") return cmdTrainPrior(a);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

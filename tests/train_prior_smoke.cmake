@@ -1,0 +1,52 @@
+# End-to-end smoke of the learned-prior loop through the shipped binary.
+#
+#   optimize --trace-programs  ->  train-prior (twice: bit-identical models)
+#                              ->  optimize --prior --prior-topk 6
+#                                  (gate engages: neighbors filtered)
+#
+# Driven as `cmake -DPERFDOJO=<bin> -DWORK=<dir> -P train_prior_smoke.cmake`
+# so it runs identically under ctest and in CI.
+if(NOT PERFDOJO OR NOT WORK)
+  message(FATAL_ERROR "usage: cmake -DPERFDOJO=<perfdojo> -DWORK=<dir> -P train_prior_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}")
+  endif()
+endfunction()
+
+# Record a program-carrying search trace on the edges structure.
+run_checked(${PERFDOJO} optimize --kernel softmax --machine xeon
+            --method search --structure edges --budget 150
+            --trace-programs 1 --trace-out ${WORK}/trace.jsonl
+            OUTPUT_QUIET ERROR_QUIET)
+
+# Train twice from the same trace: the model file must be bit-identical
+# (seeded init + seeded split; no call-order or clock dependence).
+run_checked(${PERFDOJO} train-prior --trace-in ${WORK}/trace.jsonl
+            --model-out ${WORK}/model_a.json ERROR_QUIET)
+run_checked(${PERFDOJO} train-prior --trace-in ${WORK}/trace.jsonl
+            --model-out ${WORK}/model_b.json ERROR_QUIET)
+file(READ ${WORK}/model_a.json model_a)
+file(READ ${WORK}/model_b.json model_b)
+if(NOT model_a STREQUAL model_b)
+  message(FATAL_ERROR "train-prior is not deterministic: model files differ")
+endif()
+
+# Search with the prior filtering engaged: the stats line must report a
+# non-zero filtered count.
+run_checked(${PERFDOJO} optimize --kernel softmax --machine xeon
+            --method search --structure edges --budget 150
+            --prior ${WORK}/model_a.json --prior-topk 6
+            OUTPUT_QUIET ERROR_FILE ${WORK}/prior_stats.txt)
+file(READ ${WORK}/prior_stats.txt stats)
+if(NOT stats MATCHES "prior stats: [1-9][0-9]* neighbors filtered")
+  message(FATAL_ERROR "prior gate did not engage: ${stats}")
+endif()
+
+message(STATUS "train-prior smoke passed: deterministic model, gate engaged")
